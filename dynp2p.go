@@ -1,0 +1,231 @@
+// Package dynp2p is a faithful, simulation-backed implementation of
+// "Storage and Search in Dynamic Peer-to-Peer Networks" (Augustine, Molla,
+// Morsy, Pandurangan, Robinson, Upfal; SPAA 2013): randomized distributed
+// algorithms that store, maintain, and retrieve data items in a P2P
+// network whose topology is an adversarially evolving d-regular expander
+// with up to O(n/log^{1+δ} n) node replacements per round.
+//
+// The package is a facade over the full stack:
+//
+//	simnet   — the synchronous dynamic-network engine (model §2.1)
+//	walks    — the random-walk "soup" (§3, Soup Theorem)
+//	protocol — committees, landmarks, storage, search (§4, Algorithms 1-4)
+//	ida      — Rabin's Information Dispersal erasure coding (§4.4)
+//
+// A minimal session:
+//
+//	nw := dynp2p.New(dynp2p.Config{N: 1024, ChurnRate: 1, ChurnDelta: 0.5, Seed: 7})
+//	nw.Run(nw.WarmupRounds())          // let the walk soup mix
+//	nw.Store(0, 42, []byte("payload")) // node at slot 0 stores item 42
+//	nw.Run(nw.Tunables().Protocol.Period)
+//	nw.Retrieve(512, 42, nil)          // another node searches for it
+//	nw.Run(nw.Tunables().Protocol.SearchTTL)
+//	for _, r := range nw.Results() { fmt.Println(r.Success, r.Done-r.Start) }
+//
+// Everything is deterministic in (Config.Seed, Config). See DESIGN.md for
+// the architecture and EXPERIMENTS.md for the reproduction of each of the
+// paper's theorems.
+package dynp2p
+
+import (
+	"dynp2p/internal/churn"
+	"dynp2p/internal/expander"
+	"dynp2p/internal/protocol"
+	"dynp2p/internal/simnet"
+	"dynp2p/internal/walks"
+)
+
+// Strategy selects which nodes the oblivious adversary replaces.
+type Strategy = churn.Strategy
+
+// Churn strategies (re-exported).
+const (
+	Uniform       = churn.Uniform
+	OldestFirst   = churn.OldestFirst
+	YoungestFirst = churn.YoungestFirst
+	SweepBurst    = churn.SweepBurst
+)
+
+// NodeID identifies a node.
+type NodeID = simnet.NodeID
+
+// Result is the outcome of one retrieval.
+type Result = protocol.SearchResult
+
+// Config parameterises a network. Zero values get sensible defaults.
+type Config struct {
+	// N is the stable network size (required, >= 8).
+	N int
+	// Degree is the expander degree (even; default 8).
+	Degree int
+	// ChurnRate is C in the paper's churn law C·n/log^{1+δ} n replaced
+	// per round. 0 disables churn.
+	ChurnRate float64
+	// ChurnDelta is δ in the churn law (default 0.5).
+	ChurnDelta float64
+	// Strategy picks which slots are replaced (default Uniform).
+	Strategy Strategy
+	// Seed drives both the adversary (seed) and the protocol (seed+1);
+	// the two streams are independent, which is what makes the adversary
+	// oblivious.
+	Seed uint64
+	// ErasureK > 0 enables IDA erasure-coded storage (§4.4) with
+	// reconstruction threshold K; pieces = committee size.
+	ErasureK int
+	// Workers bounds simulation parallelism (0 = all cores).
+	Workers int
+	// StaticEdges freezes the topology (edges stop changing; churn still
+	// replaces occupants). Default false: edges re-randomise every round.
+	StaticEdges bool
+}
+
+// Tunables exposes the derived protocol and walk parameters of a network.
+type Tunables struct {
+	Walks    walks.Params
+	Protocol protocol.Params
+}
+
+// Stats is a combined metrics snapshot.
+type Stats struct {
+	Engine simnet.Metrics
+	Soup   walks.Metrics
+	Proto  protocol.Counters
+}
+
+// Network is a running simulation of the paper's system.
+type Network struct {
+	cfg  Config
+	e    *simnet.Engine
+	soup *walks.Soup
+	h    *protocol.Handler
+}
+
+// New builds a network. Panics on invalid configuration (this is a
+// constructor for experiments and examples; misconfiguration is a bug).
+func New(cfg Config) *Network { return NewCustom(cfg, nil) }
+
+// NewCustom builds a network and lets the caller adjust the derived walk
+// and protocol parameters before the stack is assembled (used by the
+// ablation experiments; most callers want New).
+func NewCustom(cfg Config, adjust func(*walks.Params, *protocol.Params)) *Network {
+	if cfg.N < 8 {
+		panic("dynp2p: N must be at least 8")
+	}
+	if cfg.Degree == 0 {
+		cfg.Degree = 8
+	}
+	if cfg.ChurnDelta == 0 {
+		cfg.ChurnDelta = 0.5
+	}
+	var law churn.Law = churn.ZeroLaw{}
+	if cfg.ChurnRate > 0 {
+		law = churn.PaperLaw(cfg.ChurnRate, cfg.ChurnDelta)
+	}
+	mode := expander.Rerandomize
+	if cfg.StaticEdges {
+		mode = expander.Static
+	}
+	e := simnet.New(simnet.Config{
+		N: cfg.N, Degree: cfg.Degree, EdgeMode: mode,
+		AdversarySeed: cfg.Seed, ProtocolSeed: cfg.Seed + 1,
+		Strategy: cfg.Strategy, Law: law, Workers: cfg.Workers,
+	})
+	wp := walks.DefaultParams(cfg.N)
+	pp := protocol.DefaultParams(cfg.N, wp.WalkLength)
+	pp.IDAThreshold = cfg.ErasureK
+	if adjust != nil {
+		adjust(&wp, &pp)
+	}
+	soup := walks.NewSoup(e, wp, cfg.Workers)
+	e.AddHook(soup)
+	h := protocol.NewHandler(e, soup, pp)
+	return &Network{cfg: cfg, e: e, soup: soup, h: h}
+}
+
+// Run advances the simulation by the given number of rounds.
+func (nw *Network) Run(rounds int) {
+	nw.e.Run(nw.h, rounds)
+}
+
+// Round returns the current round number.
+func (nw *Network) Round() int { return nw.e.Round() }
+
+// N returns the stable network size.
+func (nw *Network) N() int { return nw.e.N() }
+
+// WarmupRounds returns how many rounds the walk soup needs before nodes
+// have samples to build committees from (one walk length plus slack).
+func (nw *Network) WarmupRounds() int { return nw.soup.Params().WalkLength + 3 }
+
+// Tunables returns the derived parameters in use.
+func (nw *Network) Tunables() Tunables {
+	return Tunables{Walks: nw.soup.Params(), Protocol: nw.h.P}
+}
+
+// Store asks the node currently at slot to persistently store (key, data).
+// Call between Run calls.
+func (nw *Network) Store(slot int, key uint64, data []byte) {
+	nw.h.RequestStore(nw.e, slot, key, data)
+}
+
+// Retrieve asks the node currently at slot to find item key. When expect
+// is non-nil the retrieved bytes are verified against it. Call between Run
+// calls.
+func (nw *Network) Retrieve(slot int, key uint64, expect []byte) {
+	nw.h.RequestRetrieve(nw.e, slot, key, expect)
+}
+
+// Results returns (and clears) completed retrievals.
+func (nw *Network) Results() []Result { return nw.h.DrainResults() }
+
+// Stats returns a combined metrics snapshot.
+func (nw *Network) Stats() Stats {
+	return Stats{Engine: nw.e.Metrics(), Soup: nw.soup.Metrics(), Proto: nw.h.Counters()}
+}
+
+// CopyCount reports how many nodes currently hold a copy (or erasure
+// piece) of the item.
+func (nw *Network) CopyCount(key uint64) int { return nw.h.CopyCount(key) }
+
+// LandmarkCount reports the current number of storage landmarks
+// advertising the item.
+func (nw *Network) LandmarkCount(key uint64) int {
+	return nw.h.StorageLandmarkCount(key, nw.e.Round())
+}
+
+// CommitteeSize reports the current number of live members of the item's
+// storage committee.
+func (nw *Network) CommitteeSize(key uint64) int {
+	return len(nw.h.CommitteeSlots(key))
+}
+
+// IsLive reports whether a node id is still in the network.
+func (nw *Network) IsLive(id NodeID) bool { return nw.e.IsLive(id) }
+
+// OldestSlot returns the slot whose occupant has been in the network the
+// longest (ties broken by slot index). Such a node is in the paper's Core
+// with overwhelming probability, which makes it the natural issuer of
+// store operations in experiments: Theorems 3 and 4 guarantee behaviour
+// for long-lived nodes, not for peers that joined moments ago.
+func (nw *Network) OldestSlot() int {
+	best, bestJoin := 0, int(^uint(0)>>1)
+	for s := 0; s < nw.e.N(); s++ {
+		if jr := nw.e.JoinRound(s); jr < bestJoin {
+			best, bestJoin = s, jr
+		}
+	}
+	return best
+}
+
+// IDAt returns the id of the node currently occupying slot.
+func (nw *Network) IDAt(slot int) NodeID { return nw.e.IDAt(slot) }
+
+// Engine exposes the underlying engine for advanced instrumentation
+// (experiments, custom hooks). Most callers never need it.
+func (nw *Network) Engine() *simnet.Engine { return nw.e }
+
+// Handler exposes the protocol handler for advanced introspection.
+func (nw *Network) Handler() *protocol.Handler { return nw.h }
+
+// Soup exposes the walk soup for advanced introspection.
+func (nw *Network) Soup() *walks.Soup { return nw.soup }

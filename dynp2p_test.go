@@ -1,0 +1,95 @@
+package dynp2p
+
+import (
+	"bytes"
+	"testing"
+
+	"dynp2p/internal/rng"
+)
+
+func TestFacadeStoreRetrieve(t *testing.T) {
+	nw := New(Config{N: 256, ChurnRate: 0.5, ChurnDelta: 1.0, Seed: 7})
+	nw.Run(nw.WarmupRounds())
+	data := make([]byte, 100)
+	rng.New(1).Fill(data)
+	nw.Store(0, 42, data)
+	nw.Run(nw.Tunables().Protocol.Period)
+	if nw.CopyCount(42) == 0 {
+		t.Fatal("item not stored")
+	}
+	if nw.LandmarkCount(42) == 0 {
+		t.Fatal("no landmarks")
+	}
+	nw.Retrieve(128, 42, data)
+	nw.Run(nw.Tunables().Protocol.SearchTTL + 5)
+	res := nw.Results()
+	if len(res) != 1 || !res[0].Success {
+		t.Fatalf("retrieval failed: %+v", res)
+	}
+}
+
+func TestFacadeErasureMode(t *testing.T) {
+	nw := New(Config{N: 256, Seed: 9, ErasureK: 6})
+	nw.Run(nw.WarmupRounds())
+	data := bytes.Repeat([]byte("abc"), 100)
+	nw.Store(3, 5, data)
+	nw.Run(nw.Tunables().Protocol.Period + 10)
+	nw.Retrieve(99, 5, data)
+	nw.Run(nw.Tunables().Protocol.SearchTTL + 5)
+	res := nw.Results()
+	if len(res) != 1 || !res[0].Success {
+		t.Fatalf("erasure retrieval failed: %+v", res)
+	}
+	if res[0].Bytes != len(data) {
+		t.Fatalf("got %d bytes, want %d", res[0].Bytes, len(data))
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	run := func() (Stats, int) {
+		nw := New(Config{N: 128, ChurnRate: 1, Seed: 3, Workers: 3})
+		nw.Run(30)
+		return nw.Stats(), nw.Round()
+	}
+	s1, r1 := run()
+	s2, r2 := run()
+	if s1 != s2 || r1 != r2 {
+		t.Fatalf("same config produced different stats:\n%+v\n%+v", s1, s2)
+	}
+}
+
+func TestFacadeDefaults(t *testing.T) {
+	nw := New(Config{N: 64, Seed: 1})
+	tun := nw.Tunables()
+	if tun.Protocol.CommitteeSize < 4 {
+		t.Fatal("committee size default too small")
+	}
+	if tun.Walks.WalkLength < 4 {
+		t.Fatal("walk length default too small")
+	}
+	if nw.N() != 64 {
+		t.Fatal("N accessor wrong")
+	}
+	if !nw.IsLive(nw.IDAt(0)) {
+		t.Fatal("initial occupant should be live")
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tiny N did not panic")
+		}
+	}()
+	New(Config{N: 2})
+}
+
+func TestFacadeChurnStrategies(t *testing.T) {
+	for _, s := range []Strategy{Uniform, OldestFirst, YoungestFirst, SweepBurst} {
+		nw := New(Config{N: 64, ChurnRate: 1, Strategy: s, Seed: 11})
+		nw.Run(20)
+		if nw.Stats().Engine.Replacements == 0 {
+			t.Fatalf("strategy %v produced no churn", s)
+		}
+	}
+}

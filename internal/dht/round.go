@@ -1,0 +1,367 @@
+package dht
+
+import (
+	"sort"
+
+	"dynp2p/internal/simnet"
+)
+
+// HandleRound implements simnet.Handler: process routing and maintenance
+// traffic, then run this node's periodic duties (join, stabilise, finger
+// refresh, re-replication, pending operations).
+func (h *Handler) HandleRound(ctx *simnet.Ctx) {
+	st := &h.states[ctx.Slot]
+
+	for i := range ctx.Inbox {
+		m := &ctx.Inbox[i]
+		switch m.Kind {
+		case KindFind:
+			h.route(ctx, st, m)
+		case KindFound:
+			h.onFound(ctx, st, m)
+		case KindGetSuccs:
+			h.onGetSuccs(ctx, st, m)
+		case KindSuccs:
+			h.onSuccs(ctx, st, m)
+		case KindNotify:
+			h.onNotify(ctx, st, m)
+		case KindStore, KindRepl:
+			if len(m.Blob) > 0 {
+				st.items[m.Item] = append([]byte(nil), m.Blob...)
+			}
+		case KindData:
+			h.finish(m.Item^uint64(ctx.ID), ctx.Round, true)
+		}
+	}
+
+	if !st.joined {
+		h.tryJoin(ctx, st)
+		return
+	}
+	h.stabilize(ctx, st)
+	h.refreshFinger(ctx, st)
+	h.replicate(ctx, st)
+	h.firePending(ctx, st)
+}
+
+// tryJoin asks a topology neighbour to find this node's ring successor.
+// The model guarantees a fresh node knows its current graph neighbours.
+func (h *Handler) tryJoin(ctx *simnet.Ctx, st *state) {
+	nbs := ctx.NeighborSlots()
+	if len(nbs) == 0 {
+		return
+	}
+	nb := ctx.E.IDAt(int(nbs[ctx.Rand.Intn(len(nbs))]))
+	if nb == ctx.ID {
+		return
+	}
+	ctx.SendMsg(simnet.Msg{
+		To: nb, Kind: KindFind, Item: st.pt,
+		Aux: packFind(purposeJoin, h.ttl, 0), Aux2: uint64(ctx.ID),
+	})
+}
+
+// route is the Chord greedy routing step for a KindFind message.
+func (h *Handler) route(ctx *simnet.Ctx, st *state, m *simnet.Msg) {
+	purpose, ttl, finger := unpackFind(m.Aux)
+	if !st.joined || len(st.succs) == 0 || ttl <= 0 {
+		return // lookup dies; the originator's deadline handles it
+	}
+	target := m.Item
+	if purpose == purposeStore || purpose == purposeGet {
+		target = Point(m.Item)
+	}
+	// Get lookups short-circuit on any replica along the path.
+	if purpose == purposeGet {
+		if data, ok := st.items[m.Item]; ok {
+			ctx.SendMsg(simnet.Msg{
+				To: simnet.NodeID(m.Aux2), Kind: KindData, Item: m.Item, Blob: data,
+			})
+			return
+		}
+	}
+	if between(st.pt, target, st.succs[0].pt) {
+		// succs[0] is the responsible node.
+		h.resolve(ctx, st, m, purpose, finger, st.succs[0])
+		return
+	}
+	if target == st.pt {
+		h.resolve(ctx, st, m, purpose, finger, peer{id: ctx.ID, pt: st.pt})
+		return
+	}
+	next := h.closestPreceding(st, target)
+	if next.id == 0 || next.id == ctx.ID {
+		// No better hop known; hand to the successor as a fallback.
+		next = st.succs[0]
+	}
+	fwd := *m
+	fwd.Aux = packFind(purpose, ttl-1, finger)
+	fwd.To = next.id
+	ctx.SendMsg(fwd)
+}
+
+// resolve completes a routed lookup at the hop preceding the responsible
+// node.
+func (h *Handler) resolve(ctx *simnet.Ctx, st *state, m *simnet.Msg, purpose uint8, finger int, resp peer) {
+	origin := simnet.NodeID(m.Aux2)
+	switch purpose {
+	case purposeJoin, purposeFinger:
+		ids := []simnet.NodeID{resp.id}
+		for _, s := range st.succs {
+			ids = append(ids, s.id)
+		}
+		ctx.SendMsg(simnet.Msg{
+			To: origin, Kind: KindFound, Item: m.Item,
+			Aux: uint64(uint8(purpose)) | uint64(uint8(finger))<<8, IDs: ids,
+		})
+	case purposeStore:
+		if resp.id == ctx.ID {
+			st.items[m.Item] = append([]byte(nil), m.Blob...)
+			return
+		}
+		ctx.SendMsg(simnet.Msg{To: resp.id, Kind: KindStore, Item: m.Item, Blob: m.Blob})
+	case purposeGet:
+		if resp.id == ctx.ID {
+			if data, ok := st.items[m.Item]; ok {
+				ctx.SendMsg(simnet.Msg{To: origin, Kind: KindData, Item: m.Item, Blob: data})
+			}
+			return
+		}
+		// Forward the final hop to the responsible node; it answers (or
+		// the lookup dies there if it lacks the data).
+		fwd := *m
+		fwd.To = resp.id
+		fwd.Aux = packFind(purposeGet, 1, 0)
+		ctx.SendMsg(fwd)
+	}
+}
+
+// closestPreceding returns the known peer whose point most closely
+// precedes target (classic Chord next-hop choice over fingers+successors).
+func (h *Handler) closestPreceding(st *state, target uint64) peer {
+	var best peer
+	var bestDist uint64
+	consider := func(p peer) {
+		if p.id == 0 {
+			return
+		}
+		if between(st.pt, p.pt, target-1) || p.pt == st.pt {
+			d := clockwise(p.pt, target)
+			if best.id == 0 || d < bestDist {
+				best = p
+				bestDist = d
+			}
+		}
+	}
+	for _, p := range st.fingers {
+		consider(p)
+	}
+	for _, p := range st.succs {
+		consider(p)
+	}
+	return best
+}
+
+// onFound installs join/finger lookup results.
+func (h *Handler) onFound(ctx *simnet.Ctx, st *state, m *simnet.Msg) {
+	purpose := uint8(m.Aux)
+	finger := int(uint8(m.Aux >> 8))
+	if len(m.IDs) == 0 {
+		return
+	}
+	switch purpose {
+	case purposeJoin:
+		st.succs = st.succs[:0]
+		for _, id := range m.IDs {
+			if id != ctx.ID {
+				st.succs = append(st.succs, peer{id: id, pt: Point(uint64(id))})
+				st.seen(id, ctx.Round)
+			}
+		}
+		h.sortSuccs(st)
+		if len(st.succs) > 0 {
+			st.joined = true
+			ctx.SendMsg(simnet.Msg{To: st.succs[0].id, Kind: KindNotify})
+		}
+	case purposeFinger:
+		if finger >= 0 && finger < numFingers {
+			st.fingers[finger] = peer{id: m.IDs[0], pt: Point(uint64(m.IDs[0]))}
+		}
+	}
+}
+
+// stabilize prunes successors that have given no sign of life, probes the
+// head plus one rotating entry, and forgets a silent predecessor.
+func (h *Handler) stabilize(ctx *simnet.Ctx, st *state) {
+	h.pruneSuccs(ctx.Round, st)
+	if len(st.succs) == 0 {
+		st.joined = false // lost the ring entirely; rejoin
+		return
+	}
+	ctx.SendMsg(simnet.Msg{To: st.succs[0].id, Kind: KindGetSuccs})
+	if len(st.succs) > 1 {
+		probe := st.succs[1+st.probeIdx%(len(st.succs)-1)]
+		st.probeIdx++
+		ctx.SendMsg(simnet.Msg{To: probe.id, Kind: KindGetSuccs})
+	}
+	if st.pred.id != 0 && ctx.Round-st.predSeen > 2*stabTimeout {
+		st.pred = peer{} // stale predecessor; stop advertising it
+	}
+}
+
+// pruneSuccs removes successor entries that have been silent too long.
+func (h *Handler) pruneSuccs(round int, st *state) {
+	kept := st.succs[:0]
+	for _, p := range st.succs {
+		if round-st.lastSeen[p.id] <= 2*stabTimeout {
+			kept = append(kept, p)
+		}
+	}
+	st.succs = kept
+	// Bound the lastSeen map: drop entries for long-silent peers.
+	if len(st.lastSeen) > 8*succListLen {
+		for id, r := range st.lastSeen {
+			if round-r > 4*stabTimeout {
+				delete(st.lastSeen, id)
+			}
+		}
+	}
+}
+
+func (h *Handler) onGetSuccs(ctx *simnet.Ctx, st *state, m *simnet.Msg) {
+	if !st.joined {
+		return
+	}
+	ids := []simnet.NodeID{st.pred.id}
+	for _, s := range st.succs {
+		ids = append(ids, s.id)
+	}
+	ctx.SendMsg(simnet.Msg{To: m.From, Kind: KindSuccs, IDs: ids})
+	// The asker is alive and a predecessor candidate.
+	st.seen(m.From, ctx.Round)
+	h.considerPred(st, m.From, ctx.Round)
+}
+
+func (h *Handler) onSuccs(ctx *simnet.Ctx, st *state, m *simnet.Msg) {
+	if len(m.IDs) == 0 {
+		return
+	}
+	st.seen(m.From, ctx.Round)
+	// Chord stabilisation: if our successor's predecessor sits between us
+	// and the successor, adopt it.
+	fromPt := Point(uint64(m.From))
+	merged := []peer{{id: m.From, pt: fromPt}}
+	if pred := m.IDs[0]; pred != 0 && pred != ctx.ID {
+		pp := Point(uint64(pred))
+		if between(st.pt, pp, fromPt) {
+			merged = append([]peer{{id: pred, pt: pp}}, merged...)
+		}
+	}
+	for _, id := range m.IDs[1:] {
+		if id != 0 && id != ctx.ID {
+			merged = append(merged, peer{id: id, pt: Point(uint64(id))})
+		}
+	}
+	// New entries inherit a fresh sign of life (benefit of the doubt);
+	// existing timestamps are kept.
+	for _, p := range merged {
+		if _, ok := st.lastSeen[p.id]; !ok {
+			st.seen(p.id, ctx.Round)
+		}
+	}
+	merged = append(merged, st.succs...)
+	st.succs = merged
+	h.sortSuccs(st)
+}
+
+func (h *Handler) sortSuccs(st *state) {
+	sort.Slice(st.succs, func(i, j int) bool {
+		return clockwise(st.pt, st.succs[i].pt) < clockwise(st.pt, st.succs[j].pt)
+	})
+	out := st.succs[:0]
+	var last simnet.NodeID
+	for _, p := range st.succs {
+		if p.id == last || p.id == 0 {
+			continue
+		}
+		last = p.id
+		out = append(out, p)
+		if len(out) == succListLen {
+			break
+		}
+	}
+	st.succs = out
+}
+
+func (h *Handler) onNotify(ctx *simnet.Ctx, st *state, m *simnet.Msg) {
+	st.seen(m.From, ctx.Round)
+	h.considerPred(st, m.From, ctx.Round)
+}
+
+func (h *Handler) considerPred(st *state, id simnet.NodeID, round int) {
+	pt := Point(uint64(id))
+	switch {
+	case id == st.pred.id:
+		st.predSeen = round
+	case st.pred.id == 0 || between(st.pred.pt, pt, st.pt):
+		st.pred = peer{id: id, pt: pt}
+		st.predSeen = round
+	}
+}
+
+// refreshFinger re-looks-up one finger per round (round-robin).
+func (h *Handler) refreshFinger(ctx *simnet.Ctx, st *state) {
+	f := st.nextFinger
+	st.nextFinger = (st.nextFinger + 1) % numFingers
+	target := st.pt + uint64(1)<<(63-uint(f))
+	// Route the lookup starting at ourselves.
+	m := simnet.Msg{
+		From: ctx.ID, Kind: KindFind, Item: target,
+		Aux: packFind(purposeFinger, h.ttl, f), Aux2: uint64(ctx.ID),
+	}
+	h.route(ctx, st, &m)
+}
+
+// replicate pushes held items to the successor list every replEvery
+// rounds.
+func (h *Handler) replicate(ctx *simnet.Ctx, st *state) {
+	if len(st.items) == 0 || ctx.Round-st.lastRepl < replEvery {
+		return
+	}
+	st.lastRepl = ctx.Round
+	keys := make([]uint64, 0, len(st.items))
+	for k := range st.items {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	limit := len(st.succs)
+	if limit > 4 {
+		limit = 4
+	}
+	for _, k := range keys {
+		for i := 0; i < limit; i++ {
+			ctx.SendMsg(simnet.Msg{To: st.succs[i].id, Kind: KindRepl, Item: k, Blob: st.items[k]})
+		}
+	}
+}
+
+// firePending launches queued store/get operations as self-routed finds.
+func (h *Handler) firePending(ctx *simnet.Ctx, st *state) {
+	for _, ps := range st.pendingStores {
+		m := simnet.Msg{
+			From: ctx.ID, Kind: KindFind, Item: ps.key,
+			Aux: packFind(purposeStore, h.ttl, 0), Aux2: uint64(ctx.ID),
+			Blob: ps.data,
+		}
+		h.route(ctx, st, &m)
+	}
+	st.pendingStores = st.pendingStores[:0]
+	for _, key := range st.pendingGets {
+		m := simnet.Msg{
+			From: ctx.ID, Kind: KindFind, Item: key,
+			Aux: packFind(purposeGet, h.ttl, 0), Aux2: uint64(ctx.ID),
+		}
+		h.route(ctx, st, &m)
+	}
+	st.pendingGets = st.pendingGets[:0]
+}

@@ -1,0 +1,122 @@
+// Package expander maintains the dynamic expander topology of the model:
+// in every round the live slots must form a d-regular non-bipartite
+// expander (paper §2.1), while the adversary is free to change edges
+// arbitrarily between rounds.
+//
+// The package offers several edge dynamics, all driven by the adversary's
+// seed (so they are part of the oblivious pre-commitment):
+//
+//   - Rerandomize: a fresh permutation-model d-regular graph every round —
+//     the most dynamic topology the model allows;
+//   - Periodic(p): re-randomise every p rounds, static in between;
+//   - Static: one random expander for the whole execution (only node
+//     occupants change) — the gentlest topology;
+//   - RingPlusRandom: a deterministic odd cycle plus random perfect
+//     matchings, guaranteeing non-bipartiteness without laziness.
+//
+// Random d-regular permutation-model graphs are non-bipartite and expanding
+// w.h.p.; because a vanishing-probability bipartite draw would break the
+// walk analysis, consumers can additionally run lazy random walks (see
+// internal/walks), the standard remedy which the paper's regularity
+// assumption tolerates (laziness is equivalent to adding d self-loops).
+package expander
+
+import (
+	"fmt"
+
+	"dynp2p/internal/graph"
+	"dynp2p/internal/rng"
+)
+
+// EdgeMode selects how the topology evolves between rounds.
+type EdgeMode int
+
+// Edge dynamics modes.
+const (
+	Rerandomize EdgeMode = iota
+	Static
+	Periodic
+	RingPlusRandom
+)
+
+func (m EdgeMode) String() string {
+	switch m {
+	case Rerandomize:
+		return "rerandomize"
+	case Static:
+		return "static"
+	case Periodic:
+		return "periodic"
+	case RingPlusRandom:
+		return "ring+random"
+	default:
+		return fmt.Sprintf("edgemode(%d)", int(m))
+	}
+}
+
+// Config parameterises a dynamic expander.
+type Config struct {
+	N      int      // stable network size (slots)
+	Degree int      // regular degree d (even)
+	Mode   EdgeMode // edge dynamics
+	Period int      // for Periodic: rounds between re-randomisations (>= 1)
+}
+
+// Dynamic is the evolving topology. It is deterministic in (Config, seed).
+type Dynamic struct {
+	cfg Config
+	g   *graph.Graph
+	r   *rng.Stream
+}
+
+// New creates the round-0 topology.
+func New(cfg Config, seed uint64) *Dynamic {
+	if cfg.N <= 2 {
+		panic("expander: need at least 3 slots")
+	}
+	if cfg.Degree < 2 || cfg.Degree%2 != 0 {
+		panic("expander: degree must be even and >= 2")
+	}
+	if cfg.Mode == Periodic && cfg.Period < 1 {
+		panic("expander: Periodic mode needs Period >= 1")
+	}
+	d := &Dynamic{
+		cfg: cfg,
+		g:   graph.New(cfg.N, cfg.Degree),
+		r:   rng.Derive(seed, 0xed6e),
+	}
+	d.fill()
+	return d
+}
+
+func (d *Dynamic) fill() {
+	if d.cfg.Mode == RingPlusRandom {
+		d.g.FillRingPlusRandom(d.r)
+	} else {
+		d.g.FillRandomRegular(d.r)
+	}
+}
+
+// Graph returns the current topology. The graph is owned by Dynamic; it is
+// valid until the next Step call.
+func (d *Dynamic) Graph() *graph.Graph { return d.g }
+
+// Config returns the configuration.
+func (d *Dynamic) Config() Config { return d.cfg }
+
+// Step advances the topology to the given round (call once per round,
+// with strictly increasing round numbers starting at 1).
+func (d *Dynamic) Step(round int) {
+	switch d.cfg.Mode {
+	case Rerandomize, RingPlusRandom:
+		d.fill()
+	case Periodic:
+		if round%d.cfg.Period == 0 {
+			d.g.FillRandomRegular(d.r)
+		}
+	case Static:
+		// Edges never change.
+	default:
+		panic("expander: unknown edge mode")
+	}
+}

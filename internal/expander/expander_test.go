@@ -1,0 +1,138 @@
+package expander
+
+import (
+	"testing"
+
+	"dynp2p/internal/rng"
+)
+
+func TestEveryRoundIsRegular(t *testing.T) {
+	for _, mode := range []EdgeMode{Rerandomize, Static, Periodic, RingPlusRandom} {
+		cfg := Config{N: 200, Degree: 8, Mode: mode, Period: 3}
+		d := New(cfg, 11)
+		for round := 1; round <= 20; round++ {
+			d.Step(round)
+			if err := d.Graph().CheckRegular(); err != nil {
+				t.Fatalf("%v round %d: %v", mode, round, err)
+			}
+		}
+	}
+}
+
+func TestStaticNeverChanges(t *testing.T) {
+	d := New(Config{N: 100, Degree: 6, Mode: Static}, 3)
+	snapshot := append([]int32(nil), d.Graph().Neighbors(0)...)
+	for round := 1; round <= 10; round++ {
+		d.Step(round)
+		for i, w := range d.Graph().Neighbors(0) {
+			if snapshot[i] != w {
+				t.Fatal("static topology changed")
+			}
+		}
+	}
+}
+
+func TestRerandomizeChanges(t *testing.T) {
+	d := New(Config{N: 300, Degree: 6, Mode: Rerandomize}, 4)
+	before := append([]int32(nil), d.Graph().Neighbors(0)...)
+	d.Step(1)
+	same := true
+	for i, w := range d.Graph().Neighbors(0) {
+		if before[i] != w {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("rerandomize did not change topology (astronomically unlikely)")
+	}
+}
+
+func TestPeriodicChangesOnlyOnPeriod(t *testing.T) {
+	d := New(Config{N: 300, Degree: 6, Mode: Periodic, Period: 5}, 5)
+	snap := func() []int32 { return append([]int32(nil), d.Graph().Neighbors(1)...) }
+	before := snap()
+	for round := 1; round <= 4; round++ {
+		d.Step(round)
+		after := snap()
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("periodic topology changed at round %d (period 5)", round)
+			}
+		}
+	}
+	d.Step(5)
+	after := snap()
+	changed := false
+	for i := range before {
+		if before[i] != after[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("periodic topology did not change at the period boundary")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(Config{N: 150, Degree: 4, Mode: Rerandomize}, 9)
+	b := New(Config{N: 150, Degree: 4, Mode: Rerandomize}, 9)
+	for round := 1; round <= 5; round++ {
+		a.Step(round)
+		b.Step(round)
+		for v := 0; v < 150; v++ {
+			na, nb := a.Graph().Neighbors(v), b.Graph().Neighbors(v)
+			for i := range na {
+				if na[i] != nb[i] {
+					t.Fatal("same seed produced different topologies")
+				}
+			}
+		}
+	}
+}
+
+func TestExpansionMaintained(t *testing.T) {
+	d := New(Config{N: 1024, Degree: 8, Mode: Rerandomize}, 13)
+	probe := rng.New(1)
+	for round := 1; round <= 5; round++ {
+		d.Step(round)
+		lambda := d.Graph().SpectralGapEstimate(probe, 40)
+		if lambda > 0.9 {
+			t.Fatalf("round %d: lambda estimate %v — not an expander", round, lambda)
+		}
+		if !d.Graph().IsConnected() {
+			t.Fatalf("round %d: topology disconnected", round)
+		}
+	}
+}
+
+func TestRingPlusRandomNonBipartite(t *testing.T) {
+	d := New(Config{N: 201, Degree: 6, Mode: RingPlusRandom}, 17)
+	for round := 1; round <= 5; round++ {
+		d.Step(round)
+		if d.Graph().IsBipartite() {
+			t.Fatalf("round %d: ring+random topology is bipartite", round)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("tiny n", func() { New(Config{N: 2, Degree: 2, Mode: Static}, 1) })
+	mustPanic("odd degree", func() { New(Config{N: 10, Degree: 3, Mode: Static}, 1) })
+	mustPanic("bad period", func() { New(Config{N: 10, Degree: 2, Mode: Periodic}, 1) })
+}
+
+func TestModeStrings(t *testing.T) {
+	for _, m := range []EdgeMode{Rerandomize, Static, Periodic, RingPlusRandom, EdgeMode(42)} {
+		if m.String() == "" {
+			t.Fatal("empty mode string")
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package expt implements the reproduction experiments: one experiment per
+// theorem/lemma/claim of the paper (the paper is purely analytical, so
+// these tables play the role of its "figures"; see DESIGN.md §4 for the
+// index and EXPERIMENTS.md for paper-vs-measured commentary).
+//
+// Every experiment is a pure function of its Scale and a fixed base seed,
+// so tables regenerate identically. Quick scale finishes in seconds per
+// experiment (CI-friendly); Full scale extends the sweeps for the numbers
+// quoted in EXPERIMENTS.md.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Scale selects experiment size.
+type Scale int
+
+// Scales.
+const (
+	// Quick runs a reduced sweep suitable for benchmarks and CI.
+	Quick Scale = iota
+	// Full runs the sweep quoted in EXPERIMENTS.md (minutes).
+	Full
+)
+
+// Table is the output of one experiment.
+type Table struct {
+	ID     string // e.g. "E01"
+	Title  string
+	Claim  string // the paper statement whose shape the rows must show
+	Header []string
+	Rows   [][]string
+	Notes  []string // observations computed from the data (fits, ratios)
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a computed observation.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	fmt.Fprintf(w, "claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// f2 formats a float with 2 decimals; f3/f4 likewise.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }
+func d64(v int64) string  { return fmt.Sprintf("%d", v) }
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// All runs every experiment at the given scale in order.
+func All(scale Scale) []*Table {
+	return []*Table{
+		E01SoupMixing(scale),
+		E02WalkCompletion(scale),
+		E03WalkSurvival(scale),
+		E04ReceiptBounds(scale),
+		E05CommitteeLifetime(scale),
+		E06LandmarkSize(scale),
+		E07StorageAvailability(scale),
+		E08RetrievalLatency(scale),
+		E09MessageComplexity(scale),
+		E10ErasureCoding(scale),
+		E11ChurnStress(scale),
+		E12BaselineComparison(scale),
+		E13Ablations(scale),
+	}
+}
+
+// ByID returns the experiment function for an id like "E01", or nil.
+func ByID(id string) func(Scale) *Table {
+	switch strings.ToUpper(id) {
+	case "E01":
+		return E01SoupMixing
+	case "E02":
+		return E02WalkCompletion
+	case "E03":
+		return E03WalkSurvival
+	case "E04":
+		return E04ReceiptBounds
+	case "E05":
+		return E05CommitteeLifetime
+	case "E06":
+		return E06LandmarkSize
+	case "E07":
+		return E07StorageAvailability
+	case "E08":
+		return E08RetrievalLatency
+	case "E09":
+		return E09MessageComplexity
+	case "E10":
+		return E10ErasureCoding
+	case "E11":
+		return E11ChurnStress
+	case "E12":
+		return E12BaselineComparison
+	case "E13":
+		return E13Ablations
+	default:
+		return nil
+	}
+}

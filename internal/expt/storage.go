@@ -1,0 +1,141 @@
+package expt
+
+import (
+	"math"
+
+	"dynp2p"
+	"dynp2p/internal/stats"
+)
+
+// E07StorageAvailability reproduces Theorem 3: an item stored by a Core
+// node stays available — Θ(log n) copies plus a live landmark set — for a
+// long horizon under churn up to O(n/log^{1+δ} n) per round.
+func E07StorageAvailability(scale Scale) *Table {
+	t := &Table{
+		ID:    "E07",
+		Title: "storage availability over time (Thm 3, Def 1)",
+		Claim: "items stay available for a long horizon with only Theta(log n) " +
+			"copies each; availability degrades gracefully with churn",
+		Header: []string{"churn C", "items", "avail", "alive-end", "mean-copies", "h*ln n", "min-copies"},
+	}
+	n := 512
+	items := 4
+	periods := 10
+	if scale == Full {
+		n = 1024
+		items = 8
+		periods = 25
+	}
+	for _, c := range []float64{0.5, 1, 2} {
+		nw := dynp2p.New(dynp2p.Config{N: n, ChurnRate: c, ChurnDelta: 1.0, Seed: 0xE07})
+		nw.Run(nw.WarmupRounds())
+		for i := 0; i < items; i++ {
+			mustStore(nw, uint64(100+i), itemData(uint64(100+i), 48))
+		}
+		nw.Run(4)
+		period := nw.Tunables().Protocol.Period
+		var copies []float64
+		minCopies := math.MaxInt
+		checkpoints, available := 0, 0
+		for ep := 0; ep < periods; ep++ {
+			nw.Run(period)
+			for i := 0; i < items; i++ {
+				key := uint64(100 + i)
+				cc := nw.CopyCount(key)
+				lm := nw.LandmarkCount(key)
+				checkpoints++
+				if cc > 0 && lm > 0 {
+					available++
+				}
+				if cc > 0 {
+					copies = append(copies, float64(cc))
+					if cc < minCopies {
+						minCopies = cc
+					}
+				}
+			}
+		}
+		aliveEnd := 0
+		for i := 0; i < items; i++ {
+			if nw.CopyCount(uint64(100+i)) > 0 {
+				aliveEnd++
+			}
+		}
+		if minCopies == math.MaxInt {
+			minCopies = 0
+		}
+		hLogN := nw.Tunables().Protocol.CommitteeSize
+		t.AddRow(f2(c), d(items), pct(float64(available)/float64(checkpoints)),
+			d(aliveEnd), f2(stats.Mean(copies)), d(hLogN), d(minCopies))
+	}
+	t.AddNote("avail = fraction of (item, epoch) checkpoints with >=1 copy and >=1 landmark (Definition 1).")
+	t.AddNote("mean-copies stays near the committee size h*ln n: the Theta(log n) copy bound.")
+	return t
+}
+
+// E08RetrievalLatency reproduces Theorem 4: retrieval succeeds for almost
+// all searchers in O(log n) rounds. The table sweeps n and reports the
+// latency/ln n ratio, which must stay flat if the O(log n) claim holds.
+func E08RetrievalLatency(scale Scale) *Table {
+	t := &Table{
+		ID:     "E08",
+		Title:  "retrieval success and latency scaling (Thm 4)",
+		Claim:  "searches from n-o(n) nodes succeed in O(log n) rounds",
+		Header: []string{"n", "searches", "success", "success*", "p50-lat", "p95-lat", "p50/ln n"},
+	}
+	ns := []int{256, 512, 1024}
+	searches := 12
+	if scale == Full {
+		ns = append(ns, 2048)
+		searches = 24
+	}
+	var xs, ys []float64
+	for _, n := range ns {
+		nw := dynp2p.New(dynp2p.Config{N: n, ChurnRate: 1, ChurnDelta: 1.0, Seed: 0xE08})
+		nw.Run(nw.WarmupRounds())
+		data := itemData(77, 64)
+		mustStore(nw, 77, data)
+		nw.Run(nw.Tunables().Protocol.Period)
+		// Issue searches in waves from scattered slots.
+		var lat []float64
+		success := 0
+		issued := 0
+		completed := 0 // searches whose searcher survived to an outcome
+		ttl := nw.Tunables().Protocol.SearchTTL
+		for wave := 0; wave < 3; wave++ {
+			for i := 0; i < searches/3; i++ {
+				slot := (wave*1009 + i*131 + 11) % n
+				nw.Retrieve(slot, 77, data)
+				issued++
+			}
+			nw.Run(ttl + 4)
+			for _, r := range nw.Results() {
+				completed++
+				if r.Success {
+					success++
+					lat = append(lat, float64(r.Found-r.Start))
+				}
+			}
+		}
+		p50, p95 := 0.0, 0.0
+		if len(lat) > 0 {
+			sm := stats.Summarize(lat)
+			p50, p95 = sm.Median, sm.P95
+		}
+		survSuccess := 0.0
+		if completed > 0 {
+			survSuccess = float64(success) / float64(completed)
+		}
+		ln := math.Log(float64(n))
+		t.AddRow(d(n), d(issued), pct(float64(success)/float64(issued)),
+			pct(survSuccess), f2(p50), f2(p95), f2(p50/ln))
+		xs = append(xs, float64(n))
+		ys = append(ys, p50+1)
+	}
+	p, r2 := stats.PowerLawExponent(xs, ys)
+	t.AddNote("fitted latency ~ n^%.2f (r²=%.2f); O(log n) predicts an exponent near 0.", p, r2)
+	t.AddNote("p50/ln n flat across n is the O(log n) signature.")
+	t.AddNote("success counts all issued searches; success* conditions on the searcher " +
+		"surviving to an outcome (the paper's guarantee is for the n-o(n) nodes that remain).")
+	return t
+}

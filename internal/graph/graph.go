@@ -1,0 +1,281 @@
+// Package graph implements the d-regular multigraph substrate of the
+// dynamic-network model (paper §2.1): in every round the topology must be a
+// d-regular non-bipartite expander over the n live slots.
+//
+// Graphs are stored as a flat adjacency array (n·d int32 entries) so the
+// per-round regeneration and the random-walk inner loop stay allocation-free
+// and cache-friendly. Vertices are *slots* (0..n-1); the simulation engine
+// maps slots to node identities (see internal/simnet).
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"dynp2p/internal/bitset"
+	"dynp2p/internal/rng"
+)
+
+// Graph is a d-regular multigraph on n vertices. Self-loops and parallel
+// edges are permitted (the permutation model produces them with vanishing
+// probability); random walks treat each adjacency entry as one port.
+type Graph struct {
+	n, d int
+	adj  []int32 // adj[v*d+p] = p-th neighbour of v
+}
+
+// New returns an edgeless graph shell with capacity for n vertices of
+// degree d. All ports initially point at vertex 0; callers are expected to
+// fill the adjacency via a constructor below or SetPort.
+func New(n, d int) *Graph {
+	if n <= 0 || d <= 0 {
+		panic("graph: non-positive n or d")
+	}
+	return &Graph{n: n, d: d, adj: make([]int32, n*d)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// Degree returns the regular degree d.
+func (g *Graph) Degree() int { return g.d }
+
+// Neighbors returns a slice aliasing vertex v's d adjacency ports.
+// The caller must not modify it.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.adj[v*g.d : (v+1)*g.d]
+}
+
+// Neighbor returns the p-th neighbour of v.
+func (g *Graph) Neighbor(v, p int) int32 { return g.adj[v*g.d+p] }
+
+// SetPort sets the p-th adjacency port of v. It is the caller's job to keep
+// the multigraph consistent (each undirected edge appears once per side).
+func (g *Graph) SetPort(v, p int, w int32) { g.adj[v*g.d+p] = w }
+
+// RandomNeighbor returns a uniformly random neighbour of v.
+func (g *Graph) RandomNeighbor(v int, r *rng.Stream) int32 {
+	return g.adj[v*g.d+r.Intn(g.d)]
+}
+
+// RandomRegular builds a d-regular multigraph from d/2 uniformly random
+// permutations: for each permutation π, vertex i gets edge (i, π(i)), used
+// in both directions. d must be even. This is the standard permutation
+// model; the result is an expander with probability 1−o(1), with second
+// eigenvalue concentrating near 2√(d−1)/d (Friedman's theorem).
+func RandomRegular(n, d int, r *rng.Stream) *Graph {
+	if d%2 != 0 {
+		panic("graph: RandomRegular requires even degree")
+	}
+	g := New(n, d)
+	g.FillRandomRegular(r)
+	return g
+}
+
+// FillRandomRegular overwrites g's edges with a fresh permutation-model
+// d-regular multigraph drawn from r. It reuses g's storage, so the dynamic
+// network can re-randomise edges every round with zero allocation.
+func (g *Graph) FillRandomRegular(r *rng.Stream) {
+	if g.d%2 != 0 {
+		panic("graph: FillRandomRegular requires even degree")
+	}
+	half := g.d / 2
+	perm := make([]int32, g.n)
+	for k := 0; k < half; k++ {
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		for i := g.n - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for i := 0; i < g.n; i++ {
+			g.SetPort(i, 2*k, perm[i])
+			g.SetPort(int(perm[i]), 2*k+1, int32(i))
+		}
+	}
+}
+
+// Ring fills g's first two ports with the cycle i → i±1 (mod n) and the
+// remaining ports with random permutation edges. The explicit odd cycle
+// when n is odd guarantees non-bipartiteness deterministically; used by
+// tests and as a topology option.
+func (g *Graph) FillRingPlusRandom(r *rng.Stream) {
+	for i := 0; i < g.n; i++ {
+		g.SetPort(i, 0, int32((i+1)%g.n))
+		g.SetPort(i, 1, int32((i-1+g.n)%g.n))
+	}
+	half := g.d / 2
+	perm := make([]int32, g.n)
+	for k := 1; k < half; k++ {
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		for i := g.n - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for i := 0; i < g.n; i++ {
+			g.SetPort(i, 2*k, perm[i])
+			g.SetPort(int(perm[i]), 2*k+1, int32(i))
+		}
+	}
+}
+
+// IsConnected reports whether the graph is connected (ignoring direction;
+// the multigraph is symmetric by construction).
+func (g *Graph) IsConnected() bool {
+	if g.n == 0 {
+		return true
+	}
+	visited := bitset.New(g.n)
+	stack := make([]int32, 0, g.n)
+	stack = append(stack, 0)
+	visited.Set(0)
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Neighbors(int(v)) {
+			if !visited.Test(int(w)) {
+				visited.Set(int(w))
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// IsBipartite reports whether the graph admits a proper 2-colouring.
+// Non-bipartiteness is required by the model so that random walks converge
+// to the uniform distribution instead of oscillating.
+func (g *Graph) IsBipartite() bool {
+	color := make([]int8, g.n) // 0 = unseen, 1/2 = sides
+	stack := make([]int32, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if color[s] != 0 {
+			continue
+		}
+		color[s] = 1
+		stack = append(stack[:0], int32(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(int(v)) {
+				if int32(w) == v {
+					return false // self-loop: odd cycle of length 1
+				}
+				switch color[w] {
+				case 0:
+					color[w] = 3 - color[v]
+					stack = append(stack, w)
+				case color[v]:
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// SpectralGapEstimate estimates λ = max(|λ₂|, |λₙ|) of the random-walk
+// transition matrix P = A/d via power iteration with deflation of the
+// all-ones eigenvector. Smaller λ means faster mixing; the paper assumes a
+// fixed bound λ < 1. iters controls accuracy (30–60 is ample for tests).
+func (g *Graph) SpectralGapEstimate(r *rng.Stream, iters int) float64 {
+	n := g.n
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64() - 0.5
+	}
+	deflate(x)
+	normalize(x)
+	lambda := 0.0
+	for it := 0; it < iters; it++ {
+		// y = P x
+		for v := 0; v < n; v++ {
+			var s float64
+			for _, w := range g.Neighbors(v) {
+				s += x[w]
+			}
+			y[v] = s / float64(g.d)
+		}
+		deflate(y)
+		lambda = norm(y) // since |x| = 1, |Px| approximates |λ|
+		if lambda == 0 {
+			return 0
+		}
+		normalize(y)
+		x, y = y, x
+	}
+	return lambda
+}
+
+func deflate(x []float64) {
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	for i := range x {
+		x[i] -= mean
+	}
+}
+
+func norm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(x []float64) {
+	n := norm(x)
+	if n == 0 {
+		return
+	}
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+// CheckRegular verifies that every adjacency entry is a valid vertex and
+// that the multigraph is symmetric as a degree sequence (each vertex is
+// referenced exactly d times). Returns an error describing the first
+// violation. Used by tests and failure-injection experiments.
+func (g *Graph) CheckRegular() error {
+	refs := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		for p := 0; p < g.d; p++ {
+			w := g.Neighbor(v, p)
+			if w < 0 || int(w) >= g.n {
+				return fmt.Errorf("graph: vertex %d port %d points at invalid vertex %d", v, p, w)
+			}
+			refs[w]++
+		}
+	}
+	for v, c := range refs {
+		if c != g.d {
+			return fmt.Errorf("graph: vertex %d referenced %d times, want %d", v, c, g.d)
+		}
+	}
+	return nil
+}
+
+// MixingTimeUpperBound returns the standard expander bound on the number of
+// walk steps needed to get within ε of uniform in total variation:
+// t ≥ log(n/ε) / log(1/λ). Protocol parameter selection uses it to pick
+// T = Θ(log n).
+func MixingTimeUpperBound(n int, lambda, eps float64) int {
+	if lambda <= 0 {
+		return 1
+	}
+	if lambda >= 1 {
+		return math.MaxInt32
+	}
+	t := math.Log(float64(n)/eps) / math.Log(1/lambda)
+	return int(math.Ceil(t))
+}

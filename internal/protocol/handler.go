@@ -1,0 +1,389 @@
+package protocol
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dynp2p/internal/ida"
+	"dynp2p/internal/simnet"
+	"dynp2p/internal/walks"
+)
+
+// Handler is the protocol stack: a simnet.Handler that runs committees,
+// landmark trees, storage, and retrieval for every node in the network.
+// Per-node state is kept per slot; HandleRound runs concurrently across
+// slots but each invocation touches only its own slot's state, shared
+// immutable configuration, and atomic counters.
+type Handler struct {
+	P    Params
+	soup *walks.Soup
+	code *ida.Coder // nil in replication mode
+
+	states []nodeState
+
+	mu      sync.Mutex
+	results []SearchResult
+
+	ctr counters
+}
+
+// counters are the handler's atomic event counters.
+type counters struct {
+	invitesSent       atomic.Int64
+	handovers         atomic.Int64
+	fallbackHandovers atomic.Int64
+	resignations      atomic.Int64
+	committeeCreated  atomic.Int64
+	waves             atomic.Int64
+	growSent          atomic.Int64
+	inquiries         atomic.Int64
+	founds            atomic.Int64
+	fetches           atomic.Int64
+	idaLost           atomic.Int64
+	idaRecoded        atomic.Int64
+}
+
+// Counters is a plain snapshot of the handler's event counters.
+type Counters struct {
+	InvitesSent       int64 // committee invitations sent
+	Handovers         int64 // epoch handovers completed (by any candidate)
+	FallbackHandovers int64 // handovers performed by a non-primary candidate
+	Resignations      int64 // members resigned after a handover
+	CommitteesCreated int64 // committees created by Store/Retrieve requests
+	Waves             int64 // landmark waves started by members
+	GrowSent          int64 // tree-growth messages sent
+	Inquiries         int64 // landmark inquiries sent
+	Founds            int64 // positive inquiry responses sent
+	Fetches           int64 // data fetch requests sent
+	IDALost           int64 // handovers where fewer than K pieces survived
+	IDARecoded        int64 // handovers that reconstructed and re-dispersed
+}
+
+// Counters returns a snapshot of event counters.
+func (h *Handler) Counters() Counters {
+	return Counters{
+		InvitesSent:       h.ctr.invitesSent.Load(),
+		Handovers:         h.ctr.handovers.Load(),
+		FallbackHandovers: h.ctr.fallbackHandovers.Load(),
+		Resignations:      h.ctr.resignations.Load(),
+		CommitteesCreated: h.ctr.committeeCreated.Load(),
+		Waves:             h.ctr.waves.Load(),
+		GrowSent:          h.ctr.growSent.Load(),
+		Inquiries:         h.ctr.inquiries.Load(),
+		Founds:            h.ctr.founds.Load(),
+		Fetches:           h.ctr.fetches.Load(),
+		IDALost:           h.ctr.idaLost.Load(),
+		IDARecoded:        h.ctr.idaRecoded.Load(),
+	}
+}
+
+// SearchResult records the outcome of one retrieval operation.
+type SearchResult struct {
+	Searcher simnet.NodeID
+	Key      uint64
+	Start    int  // round the retrieval was requested
+	Found    int  // round the searcher learned a storage-committee roster (-1 if never)
+	Done     int  // round the item bytes were reconstructed (-1 if never)
+	Success  bool // true if the data was retrieved and verified
+	Bytes    int  // length of the retrieved data
+}
+
+// nodeState is the per-slot protocol state. It is reset when the slot's
+// occupant is churned: the newcomer knows nothing.
+type nodeState struct {
+	id simnet.NodeID
+
+	// recent is a ring buffer of recent walk-sample sources — the node's
+	// window onto the "soup" from which it draws random peers.
+	recent    []simnet.NodeID
+	recentPos int
+	recentLen int
+
+	memberships map[uint64]*membership   // com id -> membership
+	stored      map[uint64]*storedCopy   // item key -> local copy/piece
+	storageLM   map[uint64]*lmEntry      // item key -> storage landmark state
+	searchLM    map[uint64][]*searchTask // item key -> active search tasks
+	searches    map[uint64]*searchState  // item key -> retrieval this node runs
+	pending     []pendingOp
+}
+
+// storedCopy is this node's share of an item: the full bytes in
+// replication mode, or one IDA piece.
+type storedCopy struct {
+	data     []byte
+	pieceIdx int // -1 in replication mode
+	itemLen  int
+}
+
+// lmEntry is a storage-landmark registration: this node can point
+// searchers at the item's committee.
+type lmEntry struct {
+	roster []simnet.NodeID
+	expiry int
+	wave   int
+}
+
+// searchTask makes this node a search landmark for (key, searcher).
+type searchTask struct {
+	searcher simnet.NodeID
+	expiry   int
+	wave     int
+}
+
+// pendingOp is a Store/Retrieve request waiting for enough walk samples to
+// pick a committee.
+type pendingOp struct {
+	mode  Mode
+	key   uint64
+	data  []byte
+	start int
+}
+
+// NewHandler builds the protocol handler. The soup must be registered as a
+// hook on the same engine. Panics on invalid parameters.
+func NewHandler(e *simnet.Engine, soup *walks.Soup, p Params) *Handler {
+	p.validate()
+	h := &Handler{P: p, soup: soup, states: make([]nodeState, e.N())}
+	if p.IDAThreshold > 0 {
+		c, err := ida.New(p.IDAThreshold, p.CommitteeSize)
+		if err != nil {
+			panic("protocol: " + err.Error())
+		}
+		h.code = c
+	}
+	return h
+}
+
+// IDA reports whether erasure-coded storage is active.
+func (h *Handler) IDA() bool { return h.code != nil }
+
+// OnJoin implements simnet.Handler: a fresh node knows nothing.
+func (h *Handler) OnJoin(e *simnet.Engine, slot int, id simnet.NodeID, round int) {
+	st := &h.states[slot]
+	*st = nodeState{
+		id:          id,
+		recent:      make([]simnet.NodeID, h.P.SampleBuffer),
+		memberships: make(map[uint64]*membership),
+		stored:      make(map[uint64]*storedCopy),
+		storageLM:   make(map[uint64]*lmEntry),
+		searchLM:    make(map[uint64][]*searchTask),
+		searches:    make(map[uint64]*searchState),
+	}
+}
+
+// OnLeave implements simnet.Handler.
+func (h *Handler) OnLeave(e *simnet.Engine, slot int, id simnet.NodeID, round int) {}
+
+// pushRecent records a walk sample source in the node's ring buffer.
+func (st *nodeState) pushRecent(src simnet.NodeID) {
+	if len(st.recent) == 0 {
+		return
+	}
+	st.recent[st.recentPos] = src
+	st.recentPos = (st.recentPos + 1) % len(st.recent)
+	if st.recentLen < len(st.recent) {
+		st.recentLen++
+	}
+}
+
+// recentDistinct appends up to want distinct recent sample sources to dst,
+// newest first, excluding the node itself.
+func (st *nodeState) recentDistinct(dst []simnet.NodeID, want int) []simnet.NodeID {
+	seen := make(map[simnet.NodeID]bool, want*2)
+	for i := 0; i < st.recentLen && len(dst) < want; i++ {
+		pos := (st.recentPos - 1 - i + len(st.recent)*2) % len(st.recent)
+		src := st.recent[pos]
+		if src == st.id || seen[src] {
+			continue
+		}
+		seen[src] = true
+		dst = append(dst, src)
+	}
+	return dst
+}
+
+// HandleRound implements simnet.Handler. It is the per-node round body:
+// absorb walk samples, process inbox, then run the periodic machinery.
+func (h *Handler) HandleRound(ctx *simnet.Ctx) {
+	st := &h.states[ctx.Slot]
+	samples := h.soup.Samples(ctx.Slot)
+	for _, s := range samples {
+		st.pushRecent(s.Src)
+	}
+
+	for i := range ctx.Inbox {
+		h.dispatch(ctx, st, &ctx.Inbox[i])
+	}
+
+	h.tickPending(ctx, st)
+	h.tickMemberships(ctx, st, samples)
+	h.tickSearchLandmarks(ctx, st, samples)
+	h.tickSearches(ctx, st)
+	if ctx.Round%16 == 5 {
+		h.sweepExpired(ctx.Round, st)
+	}
+}
+
+// dispatch routes one message to its protocol sub-handler.
+func (h *Handler) dispatch(ctx *simnet.Ctx, st *nodeState, m *simnet.Msg) {
+	switch m.Kind {
+	case KindCInvite:
+		h.onInvite(ctx, st, m)
+	case KindCCount:
+		h.onCount(ctx, st, m)
+	case KindCHandover:
+		h.onHandover(ctx, st, m)
+	case KindLGrow:
+		h.onGrow(ctx, st, m)
+	case KindSInquire:
+		h.onInquire(ctx, st, m)
+	case KindSFound:
+		h.onFound(ctx, st, m)
+	case KindSFetch:
+		h.onFetch(ctx, st, m)
+	case KindSData:
+		h.onData(ctx, st, m)
+	}
+}
+
+// sortedComIDs returns the node's committee ids in ascending order, so
+// per-round iteration over the memberships map is deterministic.
+func (st *nodeState) sortedComIDs() []uint64 {
+	ids := make([]uint64, 0, len(st.memberships))
+	for com := range st.memberships {
+		ids = append(ids, com)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// sortedSearchKeys returns the keys of active searches in ascending order.
+func (st *nodeState) sortedSearchKeys() []uint64 {
+	ids := make([]uint64, 0, len(st.searches))
+	for k := range st.searches {
+		ids = append(ids, k)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// sortedLMKeys returns the keys with search-landmark tasks in order.
+func (st *nodeState) sortedLMKeys() []uint64 {
+	ids := make([]uint64, 0, len(st.searchLM))
+	for k := range st.searchLM {
+		ids = append(ids, k)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// sweepExpired drops expired landmark registrations.
+func (h *Handler) sweepExpired(round int, st *nodeState) {
+	for k, ent := range st.storageLM {
+		if round >= ent.expiry {
+			delete(st.storageLM, k)
+		}
+	}
+	for k, tasks := range st.searchLM {
+		kept := tasks[:0]
+		for _, t := range tasks {
+			if round < t.expiry {
+				kept = append(kept, t)
+			}
+		}
+		if len(kept) == 0 {
+			delete(st.searchLM, k)
+		} else {
+			st.searchLM[k] = kept
+		}
+	}
+}
+
+// recordResult appends a finished retrieval outcome (thread-safe).
+func (h *Handler) recordResult(r SearchResult) {
+	h.mu.Lock()
+	h.results = append(h.results, r)
+	h.mu.Unlock()
+}
+
+// DrainResults returns and clears the accumulated retrieval outcomes.
+// Call between rounds only.
+func (h *Handler) DrainResults() []SearchResult {
+	h.mu.Lock()
+	r := h.results
+	h.results = nil
+	h.mu.Unlock()
+	return r
+}
+
+// --- Introspection helpers for experiments (call between rounds only) ---
+
+// CommitteeSlots returns the slots whose occupants are currently members
+// of committee com.
+func (h *Handler) CommitteeSlots(com uint64) []int {
+	var out []int
+	for s := range h.states {
+		if _, ok := h.states[s].memberships[com]; ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CopyCount returns how many nodes hold a copy (or piece) of the item.
+func (h *Handler) CopyCount(key uint64) int {
+	c := 0
+	for s := range h.states {
+		if _, ok := h.states[s].stored[key]; ok {
+			c++
+		}
+	}
+	return c
+}
+
+// StorageLandmarkCount returns the number of current (unexpired) storage
+// landmarks for the item.
+func (h *Handler) StorageLandmarkCount(key uint64, round int) int {
+	c := 0
+	for s := range h.states {
+		if ent, ok := h.states[s].storageLM[key]; ok && round < ent.expiry {
+			c++
+		}
+	}
+	return c
+}
+
+// SearchLandmarkCount returns the number of current search landmarks for
+// the item across all searchers.
+func (h *Handler) SearchLandmarkCount(key uint64, round int) int {
+	c := 0
+	for s := range h.states {
+		for _, t := range h.states[s].searchLM[key] {
+			if round < t.expiry {
+				c++
+				break
+			}
+		}
+	}
+	return c
+}
+
+// StorageLandmarkSlots returns the slots currently registered as storage
+// landmarks for key.
+func (h *Handler) StorageLandmarkSlots(key uint64, round int) []int {
+	var out []int
+	for s := range h.states {
+		if ent, ok := h.states[s].storageLM[key]; ok && round < ent.expiry {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PendingSearch reports whether the given slot still has an active search
+// for key.
+func (h *Handler) PendingSearch(slot int, key uint64) bool {
+	_, ok := h.states[slot].searches[key]
+	return ok
+}

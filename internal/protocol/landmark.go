@@ -1,0 +1,116 @@
+package protocol
+
+import (
+	"dynp2p/internal/simnet"
+)
+
+// maybeWave starts a landmark-construction wave (Algorithm 2) if this is a
+// wave round for the membership: at join, and every WaveEvery rounds from
+// the committee's base round. Each member roots its own sampling tree; the
+// trees' nodes become landmarks that know the committee roster.
+func (h *Handler) maybeWave(ctx *simnet.Ctx, st *nodeState, m *membership) {
+	round := ctx.Round
+	due := round == m.joined
+	if !due && round > m.base {
+		due = (round-m.base)%h.P.WaveEvery == 0
+	}
+	if !due {
+		return
+	}
+	h.ctr.waves.Add(1)
+	wave := round
+
+	// The member itself is a landmark for its task.
+	switch m.mode {
+	case ModeStore:
+		st.storageLM[m.key] = &lmEntry{
+			roster: m.roster, expiry: round + h.P.LandmarkTTL, wave: wave,
+		}
+	case ModeSearch:
+		h.addSearchTask(st, m.key, m.searcher, round)
+	}
+
+	h.growChildren(ctx, st, m.key, m.mode, m.searcher, m.roster, h.P.TreeDepth, wave)
+}
+
+// growChildren sends tree-growth invitations to TreeFanout recent walk
+// samples ("node v contacts its received sample nodes and adds 2 nodes
+// that are not yet part of the tree as its children").
+func (h *Handler) growChildren(ctx *simnet.Ctx, st *nodeState, key uint64,
+	mode Mode, searcher simnet.NodeID, roster []simnet.NodeID, depth, wave int) {
+	if depth <= 0 {
+		return
+	}
+	children := st.recentDistinct(nil, h.P.TreeFanout)
+	for _, child := range children {
+		ctx.SendMsg(simnet.Msg{
+			To: child, Kind: KindLGrow, Item: key,
+			Aux:  packGrow(depth-1, wave, mode),
+			Aux2: uint64(searcher),
+			IDs:  roster,
+		})
+	}
+	h.ctr.growSent.Add(int64(len(children)))
+}
+
+// onGrow handles a tree-growth invitation: the node becomes a landmark for
+// the item (or search task) and recursively extends the tree unless it was
+// already recruited into this wave (the paper's "not yet part of the
+// tree" rule, enforced at the receiver).
+func (h *Handler) onGrow(ctx *simnet.Ctx, st *nodeState, msg *simnet.Msg) {
+	depth, wave, mode := unpackGrow(msg.Aux)
+	key := msg.Item
+	switch mode {
+	case ModeStore:
+		if ent, ok := st.storageLM[key]; ok && ent.wave == wave {
+			// Already in this wave's tree: refresh, do not extend.
+			if exp := ctx.Round + h.P.LandmarkTTL; exp > ent.expiry {
+				ent.expiry = exp
+			}
+			return
+		}
+		st.storageLM[key] = &lmEntry{
+			roster: append([]simnet.NodeID(nil), msg.IDs...),
+			expiry: ctx.Round + h.P.LandmarkTTL,
+			wave:   wave,
+		}
+	case ModeSearch:
+		searcher := simnet.NodeID(msg.Aux2)
+		if t := findSearchTask(st, key, searcher); t != nil && t.wave == wave {
+			if exp := ctx.Round + h.P.LandmarkTTL; exp > t.expiry {
+				t.expiry = exp
+			}
+			return
+		}
+		h.addSearchTaskWave(st, key, searcher, ctx.Round, wave)
+	default:
+		return
+	}
+	h.growChildren(ctx, st, key, mode, simnet.NodeID(msg.Aux2), msg.IDs, depth, wave)
+}
+
+// addSearchTask registers this node as a search landmark for (key,
+// searcher), creating or refreshing the task.
+func (h *Handler) addSearchTask(st *nodeState, key uint64, searcher simnet.NodeID, round int) {
+	h.addSearchTaskWave(st, key, searcher, round, round)
+}
+
+func (h *Handler) addSearchTaskWave(st *nodeState, key uint64, searcher simnet.NodeID, round, wave int) {
+	if t := findSearchTask(st, key, searcher); t != nil {
+		t.expiry = round + h.P.LandmarkTTL
+		t.wave = wave
+		return
+	}
+	st.searchLM[key] = append(st.searchLM[key], &searchTask{
+		searcher: searcher, expiry: round + h.P.LandmarkTTL, wave: wave,
+	})
+}
+
+func findSearchTask(st *nodeState, key uint64, searcher simnet.NodeID) *searchTask {
+	for _, t := range st.searchLM[key] {
+		if t.searcher == searcher {
+			return t
+		}
+	}
+	return nil
+}

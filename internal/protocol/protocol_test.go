@@ -1,0 +1,446 @@
+package protocol
+
+import (
+	"testing"
+
+	"dynp2p/internal/churn"
+	"dynp2p/internal/expander"
+	"dynp2p/internal/rng"
+	"dynp2p/internal/simnet"
+	"dynp2p/internal/walks"
+)
+
+// sim bundles a full protocol stack for tests.
+type sim struct {
+	e    *simnet.Engine
+	soup *walks.Soup
+	h    *Handler
+}
+
+func newSim(t testing.TB, n int, law churn.Law, idaK int, seed uint64) *sim {
+	t.Helper()
+	e := simnet.New(simnet.Config{
+		N: n, Degree: 8, EdgeMode: expander.Rerandomize,
+		AdversarySeed: seed, ProtocolSeed: seed + 1,
+		Strategy: churn.Uniform, Law: law,
+	})
+	wp := walks.DefaultParams(n)
+	soup := walks.NewSoup(e, wp, 0)
+	e.AddHook(soup)
+	p := DefaultParams(n, wp.WalkLength)
+	p.IDAThreshold = idaK
+	h := NewHandler(e, soup, p)
+	return &sim{e: e, soup: soup, h: h}
+}
+
+func (s *sim) run(rounds int) {
+	s.e.Run(s.h, rounds)
+}
+
+// warm runs enough rounds for the soup to reach steady state so nodes have
+// sample buffers to draw committees from.
+func (s *sim) warm() {
+	s.run(s.soup.Params().WalkLength + 3)
+}
+
+func itemBytes(key uint64, n int) []byte {
+	b := make([]byte, n)
+	rng.New(key).Fill(b)
+	return b
+}
+
+func TestStoreCreatesCommitteeAndCopies(t *testing.T) {
+	s := newSim(t, 256, churn.ZeroLaw{}, 0, 1)
+	s.warm()
+	data := itemBytes(42, 200)
+	s.h.RequestStore(s.e, 5, 42, data)
+	s.run(4)
+	// Without churn every invitee materialises, so the committee equals
+	// the over-provisioned invitation count.
+	invited := int(s.h.P.InviteFactor*float64(s.h.P.CommitteeSize) + 0.5)
+	copies := s.h.CopyCount(42)
+	if copies != invited {
+		t.Fatalf("copies = %d, want invite count %d", copies, invited)
+	}
+	if got := len(s.h.CommitteeSlots(42)); got != invited {
+		t.Fatalf("committee slots = %d, want %d", got, invited)
+	}
+}
+
+func TestLandmarksGrow(t *testing.T) {
+	s := newSim(t, 512, churn.ZeroLaw{}, 0, 2)
+	s.warm()
+	s.h.RequestStore(s.e, 0, 7, itemBytes(7, 64))
+	// Committee forms next round; tree needs TreeDepth more rounds.
+	s.run(3 + s.h.P.TreeDepth)
+	lm := s.h.StorageLandmarkCount(7, s.e.Round())
+	if lm < s.h.P.CommitteeSize {
+		t.Fatalf("landmarks = %d, want at least committee size %d", lm, s.h.P.CommitteeSize)
+	}
+	// Lemma 8 upper bound: members (invite count, no churn) * full tree.
+	invited := int(s.h.P.InviteFactor*float64(s.h.P.CommitteeSize) + 0.5)
+	treeMax := 1
+	for i := 0; i < s.h.P.TreeDepth; i++ {
+		treeMax *= s.h.P.TreeFanout
+		treeMax++
+	}
+	if lm > invited*treeMax {
+		t.Fatalf("landmarks = %d exceed tree bound %d", lm, invited*treeMax)
+	}
+}
+
+func TestRetrieveNoChurn(t *testing.T) {
+	s := newSim(t, 256, churn.ZeroLaw{}, 0, 3)
+	s.warm()
+	data := itemBytes(99, 128)
+	s.h.RequestStore(s.e, 3, 99, data)
+	s.run(s.h.P.Period)
+	s.h.RequestRetrieve(s.e, 200, 99, data)
+	var results []SearchResult
+	for i := 0; i < s.h.P.SearchTTL+5 && len(results) == 0; i++ {
+		s.run(1)
+		results = append(results, s.h.DrainResults()...)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	r := results[0]
+	if !r.Success {
+		t.Fatalf("retrieval failed: %+v", r)
+	}
+	if r.Bytes != len(data) {
+		t.Fatalf("retrieved %d bytes, want %d", r.Bytes, len(data))
+	}
+	if r.Found < r.Start || r.Done < r.Found {
+		t.Fatalf("inconsistent rounds: %+v", r)
+	}
+}
+
+func TestRetrieveUnderChurn(t *testing.T) {
+	// Moderate churn: committees must maintain themselves and retrieval
+	// must still succeed.
+	law := churn.RateLaw{C: 0.5, K: 2.0}
+	s := newSim(t, 512, law, 0, 4)
+	s.warm()
+	data := itemBytes(1234, 64)
+	s.h.RequestStore(s.e, 10, 1234, data)
+	s.run(3 * s.h.P.Period) // survive several epochs first
+	if c := s.h.CopyCount(1234); c == 0 {
+		t.Fatal("item lost before retrieval test began")
+	}
+	ok := 0
+	attempts := 5
+	for a := 0; a < attempts; a++ {
+		slot := 50 + a*37
+		s.h.RequestRetrieve(s.e, slot, 1234, data)
+	}
+	deadline := s.e.Round() + s.h.P.SearchTTL + 10
+	var results []SearchResult
+	for s.e.Round() < deadline && len(results) < attempts {
+		s.run(1)
+		results = append(results, s.h.DrainResults()...)
+	}
+	for _, r := range results {
+		if r.Success {
+			ok++
+		}
+	}
+	if ok < attempts-1 {
+		t.Fatalf("only %d/%d retrievals succeeded under churn", ok, attempts)
+	}
+}
+
+func TestCommitteeSurvivesEpochs(t *testing.T) {
+	law := churn.RateLaw{C: 0.5, K: 2.0}
+	s := newSim(t, 512, law, 0, 5)
+	s.warm()
+	s.h.RequestStore(s.e, 0, 77, itemBytes(77, 32))
+	s.run(2)
+	for epoch := 0; epoch < 6; epoch++ {
+		s.run(s.h.P.Period)
+		members := len(s.h.CommitteeSlots(77))
+		if members == 0 {
+			t.Fatalf("committee died at epoch %d", epoch)
+		}
+		copies := s.h.CopyCount(77)
+		if copies == 0 {
+			t.Fatalf("all copies lost at epoch %d", epoch)
+		}
+		if copies > 3*s.h.P.CommitteeSize {
+			t.Fatalf("copy count exploded: %d", copies)
+		}
+	}
+	c := s.h.Counters()
+	if c.Handovers == 0 {
+		t.Fatal("no handovers happened across 6 epochs")
+	}
+	if c.Resignations == 0 {
+		t.Fatal("no resignations despite handovers")
+	}
+}
+
+func TestHandoverRefreshesRoster(t *testing.T) {
+	// With churn, the committee after several epochs should consist of
+	// different slots than the original.
+	law := churn.RateLaw{C: 1, K: 2.0}
+	s := newSim(t, 512, law, 0, 6)
+	s.warm()
+	s.h.RequestStore(s.e, 0, 5, itemBytes(5, 16))
+	s.run(3)
+	first := append([]int(nil), s.h.CommitteeSlots(5)...)
+	s.run(5 * s.h.P.Period)
+	last := s.h.CommitteeSlots(5)
+	if len(last) == 0 {
+		t.Fatal("committee died")
+	}
+	same := 0
+	inFirst := make(map[int]bool)
+	for _, sl := range first {
+		inFirst[sl] = true
+	}
+	for _, sl := range last {
+		if inFirst[sl] {
+			same++
+		}
+	}
+	if same == len(last) && len(last) == len(first) {
+		t.Fatal("committee membership never changed across 5 epochs")
+	}
+}
+
+func TestIDAStoreAndRetrieve(t *testing.T) {
+	s := newSim(t, 256, churn.ZeroLaw{}, 5, 7)
+	if !s.h.IDA() {
+		t.Fatal("IDA mode not active")
+	}
+	s.warm()
+	data := itemBytes(88, 333)
+	s.h.RequestStore(s.e, 2, 88, data)
+	// Run past the first epoch's handover phase to exercise re-coding.
+	s.run(s.h.P.Period + s.h.P.SampleWindow + 8)
+	if c := s.h.Counters(); c.IDARecoded == 0 {
+		t.Fatal("handover never reconstructed and re-dispersed the item")
+	}
+	s.h.RequestRetrieve(s.e, 100, 88, data)
+	var results []SearchResult
+	for i := 0; i < s.h.P.SearchTTL+5 && len(results) == 0; i++ {
+		s.run(1)
+		results = append(results, s.h.DrainResults()...)
+	}
+	if len(results) != 1 || !results[0].Success {
+		t.Fatalf("IDA retrieval failed: %+v", results)
+	}
+	if results[0].Bytes != len(data) {
+		t.Fatalf("IDA retrieved %d bytes, want %d", results[0].Bytes, len(data))
+	}
+}
+
+func TestIDAStorageOverhead(t *testing.T) {
+	// IDA pieces should total ~L/K of the item, far below replication.
+	s := newSim(t, 256, churn.ZeroLaw{}, 8, 8)
+	s.warm()
+	data := itemBytes(11, 800)
+	s.h.RequestStore(s.e, 0, 11, data)
+	s.run(4)
+	var total int
+	for slot := range s.h.states {
+		if cp, ok := s.h.states[slot].stored[11]; ok {
+			total += len(cp.data)
+		}
+	}
+	invited := int(s.h.P.InviteFactor*float64(s.h.P.CommitteeSize) + 0.5)
+	replicated := invited * len(data)
+	if total >= replicated/2 {
+		t.Fatalf("IDA stored %d bytes; replication would be %d — expected large saving", total, replicated)
+	}
+	wantApprox := invited * ((len(data) + 7) / 8)
+	if total != wantApprox {
+		t.Fatalf("IDA stored %d bytes, want %d", total, wantApprox)
+	}
+}
+
+func TestSearchForMissingItemFails(t *testing.T) {
+	s := newSim(t, 256, churn.ZeroLaw{}, 0, 9)
+	s.warm()
+	s.h.RequestRetrieve(s.e, 8, 31337, nil)
+	var results []SearchResult
+	for i := 0; i < s.h.P.SearchTTL+10 && len(results) == 0; i++ {
+		s.run(1)
+		results = append(results, s.h.DrainResults()...)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1 expiry failure", len(results))
+	}
+	if results[0].Success || results[0].Found >= 0 {
+		t.Fatalf("search for missing item should fail cleanly: %+v", results[0])
+	}
+}
+
+func TestSearchCommitteeDissolves(t *testing.T) {
+	s := newSim(t, 256, churn.ZeroLaw{}, 0, 10)
+	s.warm()
+	s.h.RequestRetrieve(s.e, 8, 555, nil)
+	s.run(2)
+	// Find the search committee id via the searcher's state.
+	searcher := &s.h.states[8]
+	srch := searcher.searches[555]
+	if srch == nil {
+		t.Fatal("search state missing")
+	}
+	com := srch.com
+	s.run(2)
+	if len(s.h.CommitteeSlots(com)) == 0 {
+		t.Fatal("search committee never formed")
+	}
+	s.run(s.h.P.SearchTTL + 2)
+	if len(s.h.CommitteeSlots(com)) != 0 {
+		t.Fatal("search committee did not dissolve after TTL")
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) ([]SearchResult, Counters) {
+		e := simnet.New(simnet.Config{
+			N: 128, Degree: 8, EdgeMode: expander.Rerandomize,
+			AdversarySeed: 11, ProtocolSeed: 12,
+			Strategy: churn.Uniform, Law: churn.FixedLaw{Count: 2},
+			Workers: workers,
+		})
+		wp := walks.DefaultParams(128)
+		soup := walks.NewSoup(e, wp, workers)
+		e.AddHook(soup)
+		p := DefaultParams(128, wp.WalkLength)
+		h := NewHandler(e, soup, p)
+		e.Run(h, wp.WalkLength+3)
+		h.RequestStore(e, 0, 9, itemBytes(9, 50))
+		e.Run(h, p.Period)
+		h.RequestRetrieve(e, 64, 9, itemBytes(9, 50))
+		e.Run(h, p.SearchTTL+5)
+		return h.DrainResults(), h.Counters()
+	}
+	r1, c1 := run(1)
+	r2, c2 := run(5)
+	if len(r1) != len(r2) {
+		t.Fatalf("result counts differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("results differ at %d: %+v vs %+v", i, r1[i], r2[i])
+		}
+	}
+	if c1 != c2 {
+		t.Fatalf("counters differ:\n%+v\n%+v", c1, c2)
+	}
+}
+
+func TestPendingWaitsForSamples(t *testing.T) {
+	// A store requested before the soup has warmed up (no samples seen
+	// yet) must wait, then execute once samples flow.
+	s := newSim(t, 256, churn.ZeroLaw{}, 0, 13)
+	s.run(1) // initial joins; protocol state now exists
+	s.h.RequestStore(s.e, 4, 21, itemBytes(21, 16))
+	s.run(3)
+	if s.h.CopyCount(21) != 0 {
+		t.Fatal("store executed before any samples existed")
+	}
+	s.run(s.soup.Params().WalkLength + 12)
+	if s.h.CopyCount(21) == 0 {
+		t.Fatal("pending store never executed")
+	}
+}
+
+func TestPerNodeTrafficPolylog(t *testing.T) {
+	// The scalability claim: per-node per-round traffic stays polylog even
+	// with an item stored and a search running.
+	s := newSim(t, 512, churn.RateLaw{C: 0.5, K: 2}, 0, 14)
+	s.warm()
+	s.h.RequestStore(s.e, 0, 1, itemBytes(1, 32))
+	s.run(s.h.P.Period)
+	s.h.RequestRetrieve(s.e, 101, 1, nil)
+	s.run(s.h.P.SearchTTL)
+	maxBits := s.e.Metrics().MaxNodeBitsRound
+	// The busiest node is the epoch leader, which in one round sends
+	// CommitteeSize invites (roster + item blob each), CommitteeSize
+	// handovers (roster each), and its own waves/counts. That is
+	// Θ(log²n) words + Θ(|I|·log n) bits — polylog for fixed |I|.
+	size := int64(s.h.P.CommitteeSize)
+	itemBits := int64(8 * 32)
+	perInvite := 328 + 16 + 64*size + 16 + itemBits
+	perHandover := 328 + 16 + 64*size
+	leaderPeak := size*(perInvite+perHandover) + size*400
+	if maxBits > 2*leaderPeak {
+		t.Fatalf("max per-node bits %d exceeds 2x leader peak %d", maxBits, 2*leaderPeak)
+	}
+	// And it must be far below the flooding alternative of Θ(n·|I|) bits.
+	floodBits := int64(s.e.N()) * itemBits
+	if maxBits > floodBits {
+		t.Fatalf("per-node traffic %d is not below flooding scale %d", maxBits, floodBits)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	mustPanic := func(name string, p Params) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		p.validate()
+	}
+	good := DefaultParams(1000, 14)
+	mustPanic("zero committee", func() Params { p := good; p.CommitteeSize = 0; return p }())
+	mustPanic("short period", func() Params { p := good; p.Period = 1; return p }())
+	mustPanic("bad ida", func() Params { p := good; p.IDAThreshold = p.CommitteeSize + 1; return p }())
+	good.validate() // must not panic
+}
+
+func TestTreeDepthHelpers(t *testing.T) {
+	d := DefaultTreeDepth(1024, 17)
+	if d < 1 || d > 10 {
+		t.Fatalf("DefaultTreeDepth(1024,17) = %d, implausible", d)
+	}
+	// Bigger networks need deeper trees.
+	if DefaultTreeDepth(1<<20, 35) <= DefaultTreeDepth(1<<10, 17) {
+		t.Fatal("tree depth should grow with n")
+	}
+	// Paper formula: works only at astronomically large n.
+	if _, ok := PaperTreeDepth(1024, 1.5); ok {
+		t.Fatal("PaperTreeDepth should report out-of-regime for n=1024")
+	}
+	// For larger churn exponents the correction factors shrink fast
+	// enough that the formula becomes usable at (still huge) n.
+	if mu, ok := PaperTreeDepth(1<<62, 3.0); !ok || mu < 1 {
+		t.Fatalf("PaperTreeDepth at huge n, k=3 = (%d,%v), want usable", mu, ok)
+	}
+}
+
+func TestPackingRoundTrips(t *testing.T) {
+	base, mode, idx := unpackInvite(packInvite(123456, ModeSearch, 77))
+	if base != 123456 || mode != ModeSearch || idx != 77 {
+		t.Fatalf("invite packing broken: %d %d %d", base, mode, idx)
+	}
+	c, pi, hp := unpackCount(packCount(99, 13, true))
+	if c != 99 || pi != 13 || !hp {
+		t.Fatalf("count packing broken: %d %d %v", c, pi, hp)
+	}
+	d, w, m := unpackGrow(packGrow(5, 100000, ModeStore))
+	if d != 5 || w != 100000 || m != ModeStore {
+		t.Fatalf("grow packing broken: %d %d %d", d, w, m)
+	}
+	if blobKey(keyBlob(0xdeadbeefcafe)) != 0xdeadbeefcafe {
+		t.Fatal("key blob round trip broken")
+	}
+	if blobKey([]byte{1, 2}) != 0 {
+		t.Fatal("short blob should decode to 0")
+	}
+}
+
+func TestSortIDsHelper(t *testing.T) {
+	ids := []simnet.NodeID{5, 1, 9, 3}
+	sortIDs(ids)
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] > ids[i] {
+			t.Fatal("sortIDs did not sort")
+		}
+	}
+}

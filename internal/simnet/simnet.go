@@ -1,0 +1,463 @@
+// Package simnet implements the synchronous dynamic-network engine of the
+// paper's model (§2.1). Each round proceeds exactly in the model's order:
+//
+//  1. the adversary replaces up to its churn budget of nodes and rewires
+//     the d-regular expander topology;
+//  2. every live node learns its current neighbours;
+//  3. registered round hooks run (the random-walk soup lives here);
+//  4. every live node's protocol handler runs with the messages that were
+//     addressed to it, and may send new id-addressed messages;
+//  5. outgoing messages are routed: a message to an id that has been
+//     churned out is silently dropped — the model's failure mode.
+//
+// The engine distinguishes *slots* (0..n-1, the stable positions the
+// adversary's topology is defined over) from *node ids* (the identities
+// protocols talk to). Churn replaces a slot's occupant with a fresh id; the
+// newcomer inherits the slot's current edges and knows nothing else, just
+// as the model prescribes.
+//
+// Determinism: a run is a pure function of (adversary seed, protocol seed,
+// parameters) regardless of GOMAXPROCS. Node handlers execute in parallel
+// but draw randomness only from per-node streams derived from the protocol
+// seed and the node id, and inboxes are canonically sorted before delivery.
+package simnet
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"dynp2p/internal/churn"
+	"dynp2p/internal/expander"
+	"dynp2p/internal/graph"
+	"dynp2p/internal/rng"
+)
+
+// NodeID identifies a (possibly departed) node. IDs are never reused; 0 is
+// invalid.
+type NodeID uint64
+
+// Msg is an id-addressed protocol message. Protocols multiplex on Kind.
+// The fixed fields cover every message of the paper's algorithms: walk
+// samples carry ids, committee invitations carry id lists, storage and
+// retrieval messages carry an item key plus an id.
+type Msg struct {
+	From NodeID
+	To   NodeID
+	Kind uint8
+	Item uint64   // item key (or unused)
+	Aux  uint64   // auxiliary value (round numbers, piece indices, ...)
+	Aux2 uint64   // second auxiliary (e.g. the searcher id a reply routes to)
+	IDs  []NodeID // id-list payload (committee rosters etc.); may be nil
+	Blob []byte   // data payload (item copies, IDA pieces); may be nil
+
+	seq uint32 // per-sender per-round sequence, for canonical inbox order
+}
+
+// Bits returns the message's modelled wire size in bits. The paper requires
+// every node to send only polylog(n) bits per round; experiment E9 audits
+// this via the engine's accounting.
+func (m *Msg) Bits() int {
+	// from + to + kind + item + aux + aux2 = 64+64+8+64+64+64, plus 64 per
+	// id and 8 per blob byte, each with a 16-bit length field when present.
+	b := 328
+	if len(m.IDs) > 0 {
+		b += 16 + 64*len(m.IDs)
+	}
+	if len(m.Blob) > 0 {
+		b += 16 + 8*len(m.Blob)
+	}
+	return b
+}
+
+// Handler is a node-level protocol. One Handler instance serves the whole
+// network; per-node state must be kept by the handler keyed by slot or id.
+// HandleRound may be invoked concurrently for different nodes and must only
+// touch that node's state plus immutable shared data.
+type Handler interface {
+	// OnJoin is called (sequentially) when a fresh node occupies a slot,
+	// including the initial population at round 0.
+	OnJoin(e *Engine, slot int, id NodeID, round int)
+	// OnLeave is called (sequentially) when a node is churned out.
+	// Protocols must use it only for bookkeeping/metrics: real departed
+	// nodes say no goodbye.
+	OnLeave(e *Engine, slot int, id NodeID, round int)
+	// HandleRound runs one round of the protocol for one live node.
+	HandleRound(ctx *Ctx)
+}
+
+// RoundHook runs between topology change and protocol handlers each round.
+// The random-walk soup (internal/walks) is a RoundHook.
+type RoundHook interface {
+	StepRound(e *Engine, round int)
+}
+
+// Config parameterises an Engine.
+type Config struct {
+	N             int // stable network size
+	Degree        int // expander degree (even)
+	EdgeMode      expander.EdgeMode
+	EdgePeriod    int            // for Periodic mode
+	AdversarySeed uint64         // drives churn schedule and topology
+	ProtocolSeed  uint64         // drives all protocol randomness
+	Strategy      churn.Strategy // which slots get churned
+	Law           churn.Law      // how many per round
+	Workers       int            // parallel handler workers; 0 = GOMAXPROCS
+}
+
+// Metrics aggregates engine-level counters for the current run.
+type Metrics struct {
+	Rounds        int
+	MsgsSent      int64
+	MsgsDelivered int64
+	MsgsDropped   int64 // addressed to churned-out ids
+	BitsSent      int64
+	Replacements  int64
+	// MaxNodeBitsRound is the largest per-node bits-sent observed in any
+	// single round (the scalability audit for E9).
+	MaxNodeBitsRound int64
+}
+
+// Engine is the simulator. Create with New, drive with RunRound.
+type Engine struct {
+	cfg  Config
+	topo *expander.Dynamic
+	adv  *churn.Adversary
+
+	ids       []NodeID         // slot -> occupant id
+	slotOf    map[NodeID]int32 // live ids only
+	joinRound []int32          // slot -> round the occupant joined
+	nodeRng   []*rng.Stream    // slot -> occupant's random stream
+	nextID    NodeID
+
+	inbox     [][]Msg // slot -> messages to deliver this round
+	nextInbox [][]Msg // slot -> messages accumulated for next round
+
+	churned []int // slots replaced in the current round
+
+	hooks   []RoundHook
+	metrics Metrics
+
+	workers   int
+	perWorker []workerOut
+
+	// bitsThisRound is per-slot bits sent in the current round, used for
+	// the per-node scalability audit.
+	bitsThisRound []int64
+
+	round int
+}
+
+type workerOut struct {
+	msgs []Msg
+	_    [48]byte // pad to avoid false sharing between workers
+}
+
+// New builds an engine and populates the initial n nodes (handler.OnJoin is
+// NOT called here; the first RunRound invocation with round 0 performs
+// initial joins so that handlers see a consistent engine).
+func New(cfg Config) *Engine {
+	if cfg.N < 3 {
+		panic("simnet: need N >= 3")
+	}
+	if cfg.Law == nil {
+		cfg.Law = churn.ZeroLaw{}
+	}
+	if cfg.Degree == 0 {
+		cfg.Degree = 8
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.N {
+		workers = cfg.N
+	}
+	e := &Engine{
+		cfg: cfg,
+		topo: expander.New(expander.Config{
+			N: cfg.N, Degree: cfg.Degree, Mode: cfg.EdgeMode, Period: max(cfg.EdgePeriod, 1),
+		}, cfg.AdversarySeed),
+		adv:           churn.NewAdversary(cfg.N, cfg.AdversarySeed, cfg.Strategy, cfg.Law),
+		ids:           make([]NodeID, cfg.N),
+		slotOf:        make(map[NodeID]int32, cfg.N*2),
+		joinRound:     make([]int32, cfg.N),
+		nodeRng:       make([]*rng.Stream, cfg.N),
+		inbox:         make([][]Msg, cfg.N),
+		nextInbox:     make([][]Msg, cfg.N),
+		bitsThisRound: make([]int64, cfg.N),
+		workers:       workers,
+		perWorker:     make([]workerOut, workers),
+	}
+	e.nextID = 1
+	for s := 0; s < cfg.N; s++ {
+		e.placeNewNode(s, 0)
+	}
+	return e
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// placeNewNode installs a fresh identity in slot s at the given round.
+func (e *Engine) placeNewNode(s, round int) NodeID {
+	old := e.ids[s]
+	if old != 0 {
+		delete(e.slotOf, old)
+	}
+	id := e.nextID
+	e.nextID++
+	e.ids[s] = id
+	e.slotOf[id] = int32(s)
+	e.joinRound[s] = int32(round)
+	e.nodeRng[s] = rng.Derive(e.cfg.ProtocolSeed, uint64(id))
+	return id
+}
+
+// N returns the stable network size.
+func (e *Engine) N() int { return e.cfg.N }
+
+// Degree returns the topology degree.
+func (e *Engine) Degree() int { return e.cfg.Degree }
+
+// Round returns the current round number.
+func (e *Engine) Round() int { return e.round }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Graph returns the current topology over slots.
+func (e *Engine) Graph() *graph.Graph { return e.topo.Graph() }
+
+// IDAt returns the id occupying slot s.
+func (e *Engine) IDAt(s int) NodeID { return e.ids[s] }
+
+// SlotOf returns the slot of a live id, or (-1, false) if it has departed.
+func (e *Engine) SlotOf(id NodeID) (int, bool) {
+	s, ok := e.slotOf[id]
+	return int(s), ok
+}
+
+// IsLive reports whether id is currently in the network.
+func (e *Engine) IsLive(id NodeID) bool {
+	_, ok := e.slotOf[id]
+	return ok
+}
+
+// JoinRound returns the round slot s's occupant joined.
+func (e *Engine) JoinRound(s int) int { return int(e.joinRound[s]) }
+
+// Age returns how many rounds slot s's occupant has been alive.
+func (e *Engine) Age(s int) int { return e.round - int(e.joinRound[s]) }
+
+// ChurnedThisRound returns the slots replaced at the start of the current
+// round. The slice is owned by the engine; do not retain it.
+func (e *Engine) ChurnedThisRound() []int { return e.churned }
+
+// NodeRand returns slot s's occupant random stream. Handlers should use
+// Ctx.Rand instead; hooks (e.g. the walk soup) may use this directly but
+// only from a single goroutine per slot.
+func (e *Engine) NodeRand(s int) *rng.Stream { return e.nodeRng[s] }
+
+// AddHook registers a round hook, run in registration order each round.
+func (e *Engine) AddHook(h RoundHook) { e.hooks = append(e.hooks, h) }
+
+// Metrics returns a snapshot of the run counters.
+func (e *Engine) Metrics() Metrics { return e.metrics }
+
+// Ctx is the per-node view passed to Handler.HandleRound.
+type Ctx struct {
+	E     *Engine
+	Round int
+	Slot  int
+	ID    NodeID
+	Rand  *rng.Stream
+	Inbox []Msg
+
+	out  *[]Msg
+	seq  uint32
+	bits int64
+}
+
+// Send queues an id-addressed message from this node. Delivery happens at
+// the start of the next round, and only if the target is still live then.
+func (c *Ctx) Send(to NodeID, kind uint8, item, aux uint64, ids []NodeID) {
+	c.SendMsg(Msg{To: to, Kind: kind, Item: item, Aux: aux, IDs: ids})
+}
+
+// SendMsg queues m (with From and sequencing filled in by the engine).
+func (c *Ctx) SendMsg(m Msg) {
+	m.From = c.ID
+	m.seq = c.seq
+	c.seq++
+	c.bits += int64(m.Bits())
+	*c.out = append(*c.out, m)
+}
+
+// NeighborSlots returns the node's current neighbour slots (aliased; do not
+// modify).
+func (c *Ctx) NeighborSlots() []int32 { return c.E.Graph().Neighbors(c.Slot) }
+
+// NeighborIDs appends the ids of the node's current neighbours to dst.
+func (c *Ctx) NeighborIDs(dst []NodeID) []NodeID {
+	for _, s := range c.NeighborSlots() {
+		dst = append(dst, c.E.ids[s])
+	}
+	return dst
+}
+
+// RunRound advances the simulation one round:
+// churn → topology → hooks → handlers → routing.
+// The first call must pass the engine's initial round (0), which performs
+// the initial OnJoin for every node and runs a full round.
+func (e *Engine) RunRound(h Handler) {
+	round := e.round
+	if round == 0 {
+		// Initial population joins; no churn at round 0.
+		e.churned = e.churned[:0]
+		if h != nil {
+			for s := 0; s < e.cfg.N; s++ {
+				h.OnJoin(e, s, e.ids[s], 0)
+			}
+		}
+	} else {
+		// 1. Adversarial churn.
+		batch := e.adv.Batch(round)
+		e.churned = append(e.churned[:0], batch...)
+		for _, s := range e.churned {
+			if h != nil {
+				h.OnLeave(e, s, e.ids[s], round)
+			}
+			id := e.placeNewNode(s, round)
+			// Pending messages addressed to the departed occupant die
+			// with it.
+			e.metrics.MsgsDropped += int64(len(e.nextInbox[s]))
+			e.nextInbox[s] = e.nextInbox[s][:0]
+			if h != nil {
+				h.OnJoin(e, s, id, round)
+			}
+		}
+		e.metrics.Replacements += int64(len(e.churned))
+		// 2. Topology change.
+		e.topo.Step(round)
+	}
+
+	// Swap inboxes: what was accumulated last round is delivered now.
+	e.inbox, e.nextInbox = e.nextInbox, e.inbox
+	for s := range e.nextInbox {
+		e.nextInbox[s] = e.nextInbox[s][:0]
+	}
+	for s := range e.inbox {
+		e.metrics.MsgsDelivered += int64(len(e.inbox[s]))
+	}
+
+	// 3. Hooks (walk soup etc).
+	for _, hook := range e.hooks {
+		hook.StepRound(e, round)
+	}
+
+	// 4. Handlers, in parallel over slot shards.
+	if h != nil {
+		e.runHandlers(h, round)
+		// 5. Route: messages to live ids land in nextInbox; the rest drop.
+		e.route()
+	}
+
+	e.metrics.Rounds++
+	e.round++
+}
+
+func (e *Engine) runHandlers(h Handler, round int) {
+	n := e.cfg.N
+	w := e.workers
+	for i := range e.perWorker {
+		e.perWorker[i].msgs = e.perWorker[i].msgs[:0]
+	}
+	for i := range e.bitsThisRound {
+		e.bitsThisRound[i] = 0
+	}
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		lo := wi * n / w
+		hi := (wi + 1) * n / w
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			out := &e.perWorker[wi].msgs
+			for s := lo; s < hi; s++ {
+				// Canonical inbox order regardless of routing order.
+				in := e.inbox[s]
+				sort.Slice(in, func(i, j int) bool {
+					if in[i].From != in[j].From {
+						return in[i].From < in[j].From
+					}
+					return in[i].seq < in[j].seq
+				})
+				ctx := Ctx{
+					E: e, Round: round, Slot: s, ID: e.ids[s],
+					Rand: e.nodeRng[s], Inbox: in, out: out,
+				}
+				h.HandleRound(&ctx)
+				e.bitsThisRound[s] = ctx.bits
+			}
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+	var maxBits int64
+	var totalBits int64
+	for _, b := range e.bitsThisRound {
+		totalBits += b
+		if b > maxBits {
+			maxBits = b
+		}
+	}
+	e.metrics.BitsSent += totalBits
+	if maxBits > e.metrics.MaxNodeBitsRound {
+		e.metrics.MaxNodeBitsRound = maxBits
+	}
+}
+
+func (e *Engine) route() {
+	for wi := range e.perWorker {
+		for _, m := range e.perWorker[wi].msgs {
+			e.metrics.MsgsSent++
+			s, ok := e.slotOf[m.To]
+			if !ok {
+				e.metrics.MsgsDropped++
+				continue
+			}
+			e.nextInbox[s] = append(e.nextInbox[s], m)
+		}
+	}
+}
+
+// Run advances the engine through rounds [current, current+rounds).
+func (e *Engine) Run(h Handler, rounds int) {
+	for i := 0; i < rounds; i++ {
+		e.RunRound(h)
+	}
+}
+
+// LiveIDs appends all currently live ids to dst in slot order.
+func (e *Engine) LiveIDs(dst []NodeID) []NodeID {
+	for _, id := range e.ids {
+		dst = append(dst, id)
+	}
+	return dst
+}
+
+// NopHandler is a Handler that does nothing; useful for running hooks only.
+type NopHandler struct{}
+
+// OnJoin implements Handler.
+func (NopHandler) OnJoin(*Engine, int, NodeID, int) {}
+
+// OnLeave implements Handler.
+func (NopHandler) OnLeave(*Engine, int, NodeID, int) {}
+
+// HandleRound implements Handler.
+func (NopHandler) HandleRound(*Ctx) {}

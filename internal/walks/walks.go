@@ -1,0 +1,360 @@
+// Package walks implements the paper's central technical tool (§3): the
+// "soup" of random walks. Every node starts α·log n walk tokens per round;
+// each token performs T = Θ(log n) steps over the evolving expander and is
+// then delivered to the node it lands on, which records the walk's *source*
+// as a near-uniform sample of the network (the Soup Theorem, Thm 1).
+//
+// Churn interacts with the soup exactly as in the paper: a token currently
+// carried by a node that is churned out dies with it, and the Soup Theorem
+// is about the walks that survive.
+//
+// Implementation notes (the HPC parts):
+//
+//   - Tokens are 16-byte values in per-slot buckets; a round moves every
+//     token one step with a two-phase sharded exchange (scatter by source
+//     shard, gather by destination shard) that runs on all cores.
+//   - Each token's step is derived by hashing (seed, round, src, birth,
+//     serial), not by consuming a shared stream, so the simulation is
+//     bit-reproducible at any worker count.
+//   - The shard count is a constant, and the gather phase merges source
+//     shards in fixed order, so bucket order is canonical: the forwarding
+//     cap — the paper's 2h·log n per-round scalability restriction —
+//     always applies to the same tokens no matter the parallelism.
+package walks
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dynp2p/internal/simnet"
+)
+
+// shards is the fixed shard count of the token exchange. It is a constant
+// (not GOMAXPROCS) so that merge order — and therefore the simulation —
+// is independent of the machine's core count.
+const shards = 64
+
+// Token is one in-flight random walk.
+type Token struct {
+	Src    simnet.NodeID // walk origin (its id at generation time)
+	Birth  int32         // round the walk started
+	Serial uint16        // distinguishes same-source same-round walks
+	Steps  uint16        // steps remaining
+}
+
+// Sample is a completed walk delivered to its endpoint: the holder may use
+// Src as a (near-)uniform sample of the network (Soup Theorem).
+type Sample struct {
+	Src   simnet.NodeID
+	Birth int32
+}
+
+// Params configures the soup.
+type Params struct {
+	// WalksPerRound is the number of walks each node starts per round
+	// (the paper's α·log n).
+	WalksPerRound int
+	// WalkLength is T, the number of steps each walk takes (Θ(log n)).
+	WalkLength int
+	// Deadline is τ, the rounds within which a walk should complete; a
+	// token older than Deadline rounds is dropped and counted overdue.
+	// The paper sets τ = m·log n with m chosen so that, w.h.p., the
+	// forwarding cap never delays a token past its deadline.
+	Deadline int
+	// ForwardCap limits tokens forwarded per node per round (the paper's
+	// 2h·log n). 0 means unlimited.
+	ForwardCap int
+	// Lazy makes walks lazy (stay put with probability 1/2). Laziness is
+	// the standard guard against the vanishing-probability bipartite draw
+	// of the random topology; it roughly doubles the mixing length.
+	Lazy bool
+}
+
+// DefaultParams returns soup parameters for network size n, following the
+// paper's Θ(log n) prescriptions with simulation-calibrated constants
+// (natural log, as in the paper).
+func DefaultParams(n int) Params {
+	ln := math.Log(float64(n))
+	walkLen := int(math.Ceil(2 * ln)) // T = 2·ln n; ample for λ ≈ 0.66 expanders
+	return Params{
+		WalksPerRound: int(math.Ceil(ln)),
+		WalkLength:    walkLen,
+		Deadline:      3 * walkLen,
+		ForwardCap:    0, // unlimited by default; E2 stresses finite caps
+		Lazy:          false,
+	}
+}
+
+// Metrics counts soup events since creation.
+type Metrics struct {
+	Generated int64 // tokens created
+	Completed int64 // walks that finished all steps and were sampled
+	Died      int64 // tokens lost to churn
+	Overdue   int64 // tokens dropped after exceeding Deadline
+	Moves     int64 // total token-steps executed
+	Deferred  int64 // token-rounds spent waiting behind the forward cap
+}
+
+// taggedToken and taggedSample ride the exchange with their destination.
+type taggedToken struct {
+	slot int32
+	t    Token
+}
+
+type taggedSample struct {
+	slot int32
+	s    Sample
+}
+
+// Soup is the walk engine. It implements simnet.RoundHook; register it on
+// the engine and read Samples(slot) from protocol handlers.
+type Soup struct {
+	p       Params
+	n       int
+	seed    uint64
+	buckets [][]Token  // per slot, canonical order
+	samples [][]Sample // per slot, walks completed this round
+	m       Metrics
+
+	// Exchange buffers: xfer[src][dst] holds tokens moving from a source
+	// in shard src to a destination in shard dst this round.
+	xfer  [][]([]taggedToken)  // [shards][shards]
+	deliv [][]([]taggedSample) // [shards][shards]
+
+	workers int
+}
+
+// NewSoup creates a soup for the given engine. workers <= 0 means
+// GOMAXPROCS.
+func NewSoup(e *simnet.Engine, p Params, workers int) *Soup {
+	if p.WalkLength <= 0 {
+		panic("walks: WalkLength must be positive")
+	}
+	if p.Deadline < p.WalkLength {
+		p.Deadline = p.WalkLength
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := e.N()
+	s := &Soup{
+		p:       p,
+		n:       n,
+		seed:    e.Config().ProtocolSeed,
+		buckets: make([][]Token, n),
+		samples: make([][]Sample, n),
+		workers: workers,
+		xfer:    make([][]([]taggedToken), shards),
+		deliv:   make([][]([]taggedSample), shards),
+	}
+	for i := 0; i < shards; i++ {
+		s.xfer[i] = make([][]taggedToken, shards)
+		s.deliv[i] = make([][]taggedSample, shards)
+	}
+	return s
+}
+
+// Params returns the soup parameters.
+func (s *Soup) Params() Params { return s.p }
+
+// Metrics returns a snapshot of the counters.
+func (s *Soup) Metrics() Metrics { return s.m }
+
+// Samples returns the walks that completed at slot this round. Valid until
+// the next StepRound; do not retain.
+func (s *Soup) Samples(slot int) []Sample { return s.samples[slot] }
+
+// TokensAt returns the number of in-flight tokens currently held at slot.
+func (s *Soup) TokensAt(slot int) int { return len(s.buckets[slot]) }
+
+// TotalTokens returns the number of in-flight tokens network-wide.
+func (s *Soup) TotalTokens() int {
+	t := 0
+	for _, b := range s.buckets {
+		t += len(b)
+	}
+	return t
+}
+
+// Inject starts count extra walks from the given slot this round (on top
+// of WalksPerRound). Used by experiments that trace a single batch.
+func (s *Soup) Inject(e *simnet.Engine, slot, count, round int) {
+	id := e.IDAt(slot)
+	base := len(s.buckets[slot])
+	for k := 0; k < count; k++ {
+		s.buckets[slot] = append(s.buckets[slot], Token{
+			Src: id, Birth: int32(round), Serial: uint16(base + k),
+			Steps: uint16(s.p.WalkLength),
+		})
+	}
+	s.m.Generated += int64(count)
+}
+
+// stepHash derives the per-token per-round randomness. Mixing is
+// splitmix64-flavoured; the output decides the neighbour port and the lazy
+// coin, independent of any iteration order.
+func stepHash(seed uint64, round int, t Token) uint64 {
+	x := seed + 0x9e3779b97f4a7c15*uint64(round+1)
+	x ^= uint64(t.Src) * 0xd1342543de82ef95
+	x ^= uint64(uint32(t.Birth))<<32 | uint64(t.Serial)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// StepRound implements simnet.RoundHook. Order of operations mirrors the
+// model: churn already happened (tokens at churned slots die), then every
+// node generates new walks, then every token takes one synchronous step.
+func (s *Soup) StepRound(e *simnet.Engine, round int) {
+	// 1. Tokens at churned slots die with their carriers.
+	for _, slot := range e.ChurnedThisRound() {
+		s.m.Died += int64(len(s.buckets[slot]))
+		s.buckets[slot] = s.buckets[slot][:0]
+	}
+
+	// 2. Clear last round's samples.
+	for i := range s.samples {
+		s.samples[i] = s.samples[i][:0]
+	}
+
+	// 3. Generate fresh walks at every live slot.
+	if s.p.WalksPerRound > 0 {
+		for slot := 0; slot < s.n; slot++ {
+			id := e.IDAt(slot)
+			base := len(s.buckets[slot])
+			for k := 0; k < s.p.WalksPerRound; k++ {
+				s.buckets[slot] = append(s.buckets[slot], Token{
+					Src: id, Birth: int32(round), Serial: uint16(base + k),
+					Steps: uint16(s.p.WalkLength),
+				})
+			}
+		}
+		s.m.Generated += int64(s.n) * int64(s.p.WalksPerRound)
+	}
+
+	// 4. Move all tokens one step: scatter then gather.
+	s.scatter(e, round)
+	s.gather()
+}
+
+// shardOf maps a slot to its shard.
+func (s *Soup) shardOf(slot int) int {
+	sh := slot * shards / s.n
+	if sh >= shards {
+		sh = shards - 1
+	}
+	return sh
+}
+
+// shardBounds returns the slot range [lo, hi) of a shard.
+func (s *Soup) shardBounds(sh int) (lo, hi int) {
+	return sh * s.n / shards, (sh + 1) * s.n / shards
+}
+
+func (s *Soup) scatter(e *simnet.Engine, round int) {
+	g := e.Graph()
+	d := uint64(g.Degree())
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var tallies [shards]Metrics
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				sh := int(next.Add(1) - 1)
+				if sh >= shards {
+					return
+				}
+				tally := &tallies[sh]
+				for dsh := 0; dsh < shards; dsh++ {
+					s.xfer[sh][dsh] = s.xfer[sh][dsh][:0]
+					s.deliv[sh][dsh] = s.deliv[sh][dsh][:0]
+				}
+				lo, hi := s.shardBounds(sh)
+				for slot := lo; slot < hi; slot++ {
+					bucket := s.buckets[slot]
+					budget := len(bucket)
+					if s.p.ForwardCap > 0 && budget > s.p.ForwardCap {
+						budget = s.p.ForwardCap
+						tally.Deferred += int64(len(bucket) - budget)
+					}
+					keep := bucket[:0]
+					for i := range bucket {
+						t := bucket[i]
+						if round-int(t.Birth) > s.p.Deadline {
+							tally.Overdue++
+							continue
+						}
+						if i >= budget {
+							// Over the forwarding budget: the token waits
+							// here until next round.
+							keep = append(keep, t)
+							continue
+						}
+						h := stepHash(s.seed, round, t)
+						dst := slot
+						if s.p.Lazy && h&1 == 1 {
+							// Lazy self-loop: a step that stays put.
+							h >>= 1
+						} else {
+							if s.p.Lazy {
+								h >>= 1
+							}
+							dst = int(g.Neighbor(slot, int(h%d)))
+						}
+						t.Steps--
+						tally.Moves++
+						dsh := s.shardOf(dst)
+						if t.Steps == 0 {
+							tally.Completed++
+							s.deliv[sh][dsh] = append(s.deliv[sh][dsh],
+								taggedSample{slot: int32(dst), s: Sample{Src: t.Src, Birth: t.Birth}})
+						} else {
+							s.xfer[sh][dsh] = append(s.xfer[sh][dsh],
+								taggedToken{slot: int32(dst), t: t})
+						}
+					}
+					s.buckets[slot] = keep
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for sh := range tallies {
+		s.m.Overdue += tallies[sh].Overdue
+		s.m.Moves += tallies[sh].Moves
+		s.m.Completed += tallies[sh].Completed
+		s.m.Deferred += tallies[sh].Deferred
+	}
+}
+
+func (s *Soup) gather() {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				dsh := int(next.Add(1) - 1)
+				if dsh >= shards {
+					return
+				}
+				// Merge source shards in fixed order for canonical
+				// bucket ordering.
+				for ssh := 0; ssh < shards; ssh++ {
+					for _, tt := range s.xfer[ssh][dsh] {
+						s.buckets[tt.slot] = append(s.buckets[tt.slot], tt.t)
+					}
+					for _, ts := range s.deliv[ssh][dsh] {
+						s.samples[ts.slot] = append(s.samples[ts.slot], ts.s)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
