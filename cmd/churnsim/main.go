@@ -120,7 +120,7 @@ func main() {
 		st.Engine.MaxNodeBitsRound)
 	fmt.Printf("soup: generated=%d completed=%d died=%d (survival %.1f%%)\n",
 		st.Soup.Generated, st.Soup.Completed, st.Soup.Died,
-		100*float64(st.Soup.Completed)/float64(max64(1, st.Soup.Completed+st.Soup.Died+st.Soup.Overdue)))
+		100*float64(st.Soup.Completed)/float64(max(int64(1), st.Soup.Completed+st.Soup.Died+st.Soup.Overdue)))
 	fmt.Printf("committees: %d created, %d handovers (%d by fallback leaders), %d resignations\n",
 		st.Proto.CommitteesCreated, st.Proto.Handovers, st.Proto.FallbackHandovers, st.Proto.Resignations)
 	if *idaK > 0 {
@@ -131,17 +131,3 @@ func main() {
 }
 
 func fmtF(v float64) string { return fmt.Sprintf("%g", v) }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}

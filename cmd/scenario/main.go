@@ -1,0 +1,86 @@
+// Command scenario runs a declarative workload/fault/churn scenario on
+// the dynamic P2P simulator and prints an SLO report: per-phase retrieval
+// success rates, latency quantiles, churn and fault activity, traffic.
+//
+// Scenarios come from the builtin library or from a JSON spec file; runs
+// are deterministic in (spec, seed), and -trace streams a per-round JSONL
+// record for offline analysis.
+//
+// Examples:
+//
+//	scenario -list
+//	scenario -name lossy -n 2048
+//	scenario -name churn-burst -n 1024 -seed 7 -trace out.jsonl
+//	scenario -spec my.json -trace out.jsonl
+//	scenario -name steady -dump          # print the spec JSON and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynp2p/internal/scenario"
+)
+
+func main() {
+	name := flag.String("name", "", "builtin scenario name (see -list)")
+	specPath := flag.String("spec", "", "path to a JSON scenario spec (overrides -name)")
+	n := flag.Int("n", 1024, "stable network size (builtin scenarios)")
+	seed := flag.Uint64("seed", 1, "simulation seed (builtin scenarios)")
+	tracePath := flag.String("trace", "", "write a per-round JSONL trace to this file")
+	list := flag.Bool("list", false, "list builtin scenarios and exit")
+	dump := flag.Bool("dump", false, "print the resolved spec as JSON and exit")
+	flag.Parse()
+
+	if *list {
+		for _, d := range scenario.Describe() {
+			fmt.Printf("  %-14s %s\n", d[0], d[1])
+		}
+		return
+	}
+
+	var spec scenario.Spec
+	var err error
+	switch {
+	case *specPath != "":
+		spec, err = scenario.LoadSpec(*specPath)
+	case *name != "":
+		spec, err = scenario.Builtin(*name, *n, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "need -name or -spec (try -list)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *dump {
+		b, err := spec.MarshalIndent()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", b)
+		return
+	}
+
+	var opt scenario.Options
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opt.Trace = f
+	}
+
+	rep, err := scenario.Run(spec, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep.Fprint(os.Stdout)
+}

@@ -49,6 +49,18 @@ const (
 // NodeID identifies a node.
 type NodeID = simnet.NodeID
 
+// Law determines how many nodes the adversary replaces per round
+// (re-exported; see internal/churn for implementations, including the
+// time-varying Schedule/Ramp/Burst laws used by scenarios).
+type Law = churn.Law
+
+// FaultModel perturbs message delivery at routing time (re-exported).
+type FaultModel = simnet.FaultModel
+
+// FaultConfig is the standard probabilistic fault model: independent
+// message drop plus bounded uniform delivery delay (re-exported).
+type FaultConfig = simnet.DropDelayFaults
+
 // Result is the outcome of one retrieval.
 type Result = protocol.SearchResult
 
@@ -63,8 +75,15 @@ type Config struct {
 	ChurnRate float64
 	// ChurnDelta is δ in the churn law (default 0.5).
 	ChurnDelta float64
+	// ChurnLaw, when non-nil, replaces the ChurnRate/ChurnDelta-derived
+	// law entirely — e.g. a churn.Schedule that varies rate over phases.
+	ChurnLaw Law
 	// Strategy picks which slots are replaced (default Uniform).
 	Strategy Strategy
+	// Fault, when non-nil, drops or delays messages at routing time.
+	// Fault randomness derives from Seed's adversary stream, so faulty
+	// runs stay deterministic. Use Network.SetFault to vary it mid-run.
+	Fault FaultModel
 	// Seed drives both the adversary (seed) and the protocol (seed+1);
 	// the two streams are independent, which is what makes the adversary
 	// oblivious.
@@ -121,6 +140,9 @@ func NewCustom(cfg Config, adjust func(*walks.Params, *protocol.Params)) *Networ
 	if cfg.ChurnRate > 0 {
 		law = churn.PaperLaw(cfg.ChurnRate, cfg.ChurnDelta)
 	}
+	if cfg.ChurnLaw != nil {
+		law = cfg.ChurnLaw
+	}
 	mode := expander.Rerandomize
 	if cfg.StaticEdges {
 		mode = expander.Static
@@ -128,7 +150,7 @@ func NewCustom(cfg Config, adjust func(*walks.Params, *protocol.Params)) *Networ
 	e := simnet.New(simnet.Config{
 		N: cfg.N, Degree: cfg.Degree, EdgeMode: mode,
 		AdversarySeed: cfg.Seed, ProtocolSeed: cfg.Seed + 1,
-		Strategy: cfg.Strategy, Law: law, Workers: cfg.Workers,
+		Strategy: cfg.Strategy, Law: law, Fault: cfg.Fault, Workers: cfg.Workers,
 	})
 	wp := walks.DefaultParams(cfg.N)
 	pp := protocol.DefaultParams(cfg.N, wp.WalkLength)
@@ -177,6 +199,10 @@ func (nw *Network) Retrieve(slot int, key uint64, expect []byte) {
 
 // Results returns (and clears) completed retrievals.
 func (nw *Network) Results() []Result { return nw.h.DrainResults() }
+
+// SetFault installs (or, with nil, removes) the message fault model. Call
+// between Run calls; scenario phases use this to vary network quality.
+func (nw *Network) SetFault(f FaultModel) { nw.e.SetFault(f) }
 
 // Stats returns a combined metrics snapshot.
 func (nw *Network) Stats() Stats {

@@ -1,0 +1,3 @@
+module dynp2p
+
+go 1.22

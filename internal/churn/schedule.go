@@ -1,0 +1,112 @@
+package churn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file adds time-varying churn laws. The paper analyses a single
+// steady rate; the scenario engine (internal/scenario) composes these to
+// model bursts, ramps, and quiet periods while keeping the adversary
+// oblivious — a Schedule is still committed before round 0 and is a pure
+// function of the round number.
+
+// Segment is one piece of a Schedule: a law active for Rounds rounds.
+type Segment struct {
+	// Rounds is the segment duration; a value <= 0 means "until the end
+	// of the run" (subsequent segments are never reached).
+	Rounds int
+	Law    Law
+}
+
+// Schedule chains laws over time. Each segment sees rounds rebased to its
+// own start (its law's round argument runs 0..Rounds-1), so round-aware
+// laws like RampLaw compose naturally. After the last segment the
+// schedule goes quiet.
+type Schedule struct {
+	Segments []Segment
+}
+
+// PerRound implements Law.
+func (s Schedule) PerRound(n, round int) int {
+	r := round
+	for _, seg := range s.Segments {
+		if seg.Rounds <= 0 || r < seg.Rounds {
+			return seg.Law.PerRound(n, r)
+		}
+		r -= seg.Rounds
+	}
+	return 0
+}
+
+func (s Schedule) String() string {
+	if len(s.Segments) == 0 {
+		return "empty schedule"
+	}
+	parts := make([]string, len(s.Segments))
+	for i, seg := range s.Segments {
+		if seg.Rounds <= 0 {
+			parts[i] = fmt.Sprintf("%s onwards", seg.Law)
+		} else {
+			parts[i] = fmt.Sprintf("%s for %d", seg.Law, seg.Rounds)
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+// RampLaw linearly interpolates the per-round replacement count from From
+// at round 0 to To at round Rounds-1, then holds at To. Inside a Schedule
+// segment the ramp spans that segment.
+type RampLaw struct {
+	From, To Law
+	Rounds   int
+}
+
+// PerRound implements Law.
+func (l RampLaw) PerRound(n, round int) int {
+	if l.Rounds <= 1 || round >= l.Rounds {
+		return l.To.PerRound(n, round)
+	}
+	if round <= 0 {
+		return l.From.PerRound(n, round)
+	}
+	a := float64(l.From.PerRound(n, round))
+	b := float64(l.To.PerRound(n, round))
+	t := float64(round) / float64(l.Rounds-1)
+	v := int(a + (b-a)*t + 0.5)
+	if v < 0 {
+		v = 0
+	}
+	if v > n {
+		v = n
+	}
+	return v
+}
+
+func (l RampLaw) String() string {
+	return fmt.Sprintf("ramp %s -> %s over %d", l.From, l.To, l.Rounds)
+}
+
+// BurstLaw alternates quiet and burst periods: every Period rounds it
+// replaces Count nodes per round for Width consecutive rounds, and none
+// otherwise. Width must be <= Period.
+type BurstLaw struct {
+	Period int // cycle length in rounds
+	Width  int // burst length at the start of each cycle
+	Count  int // replacements per round during the burst
+}
+
+// PerRound implements Law.
+func (l BurstLaw) PerRound(n, round int) int {
+	if l.Period <= 0 || l.Width <= 0 {
+		return 0
+	}
+	if round%l.Period >= l.Width {
+		return 0
+	}
+	return FixedLaw{Count: l.Count}.PerRound(n, round)
+}
+
+func (l BurstLaw) String() string {
+	return fmt.Sprintf("burst %d/round for %d every %d", l.Count, l.Width, l.Period)
+}

@@ -1,0 +1,110 @@
+package churn
+
+import "testing"
+
+func TestSchedulePhases(t *testing.T) {
+	s := Schedule{Segments: []Segment{
+		{Rounds: 10, Law: ZeroLaw{}},
+		{Rounds: 5, Law: FixedLaw{Count: 7}},
+		{Rounds: 10, Law: FixedLaw{Count: 2}},
+	}}
+	const n = 100
+	for r := 0; r < 10; r++ {
+		if got := s.PerRound(n, r); got != 0 {
+			t.Fatalf("round %d: got %d, want 0 (quiet)", r, got)
+		}
+	}
+	for r := 10; r < 15; r++ {
+		if got := s.PerRound(n, r); got != 7 {
+			t.Fatalf("round %d: got %d, want 7 (burst)", r, got)
+		}
+	}
+	for r := 15; r < 25; r++ {
+		if got := s.PerRound(n, r); got != 2 {
+			t.Fatalf("round %d: got %d, want 2 (tail)", r, got)
+		}
+	}
+	// Past the last segment the schedule goes quiet.
+	if got := s.PerRound(n, 25); got != 0 {
+		t.Fatalf("round 25: got %d, want 0 after schedule end", got)
+	}
+}
+
+func TestScheduleOpenEndedSegment(t *testing.T) {
+	s := Schedule{Segments: []Segment{
+		{Rounds: 3, Law: FixedLaw{Count: 1}},
+		{Rounds: 0, Law: FixedLaw{Count: 4}},
+		{Rounds: 5, Law: FixedLaw{Count: 9}}, // unreachable
+	}}
+	if got := s.PerRound(50, 2); got != 1 {
+		t.Fatalf("round 2: got %d, want 1", got)
+	}
+	for _, r := range []int{3, 100, 100000} {
+		if got := s.PerRound(50, r); got != 4 {
+			t.Fatalf("round %d: got %d, want 4 (open-ended)", r, got)
+		}
+	}
+}
+
+func TestScheduleRebasesRoundsPerSegment(t *testing.T) {
+	// A ramp inside a later segment must see segment-relative rounds.
+	s := Schedule{Segments: []Segment{
+		{Rounds: 20, Law: ZeroLaw{}},
+		{Rounds: 11, Law: RampLaw{From: ZeroLaw{}, To: FixedLaw{Count: 10}, Rounds: 11}},
+	}}
+	if got := s.PerRound(100, 20); got != 0 {
+		t.Fatalf("ramp start: got %d, want 0", got)
+	}
+	if got := s.PerRound(100, 25); got != 5 {
+		t.Fatalf("ramp midpoint: got %d, want 5", got)
+	}
+	if got := s.PerRound(100, 30); got != 10 {
+		t.Fatalf("ramp end: got %d, want 10", got)
+	}
+}
+
+func TestRampLawMonotoneAndClamped(t *testing.T) {
+	l := RampLaw{From: FixedLaw{Count: 2}, To: FixedLaw{Count: 12}, Rounds: 6}
+	prev := -1
+	for r := 0; r < 10; r++ {
+		v := l.PerRound(100, r)
+		if v < prev {
+			t.Fatalf("ramp not monotone at round %d: %d < %d", r, v, prev)
+		}
+		prev = v
+	}
+	if got := l.PerRound(100, 0); got != 2 {
+		t.Fatalf("ramp start: got %d, want 2", got)
+	}
+	if got := l.PerRound(100, 9); got != 12 {
+		t.Fatalf("ramp hold: got %d, want 12", got)
+	}
+}
+
+func TestBurstLawCycle(t *testing.T) {
+	l := BurstLaw{Period: 10, Width: 3, Count: 5}
+	for r := 0; r < 30; r++ {
+		want := 0
+		if r%10 < 3 {
+			want = 5
+		}
+		if got := l.PerRound(100, r); got != want {
+			t.Fatalf("round %d: got %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestScheduleDrivesAdversary(t *testing.T) {
+	s := Schedule{Segments: []Segment{
+		{Rounds: 5, Law: ZeroLaw{}},
+		{Rounds: 5, Law: FixedLaw{Count: 3}},
+	}}
+	a := NewAdversary(32, 1, Uniform, s)
+	for r := 1; r <= 12; r++ {
+		b := a.Batch(r)
+		want := s.PerRound(32, r)
+		if len(b) != want {
+			t.Fatalf("round %d: batch %d, want %d", r, len(b), want)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dynp2p"
+	"dynp2p/internal/stats"
+)
+
+// SLO aggregates per-request service-level outcomes for a slice of the
+// run (one phase, or the whole run). A retrieval is attributed to the
+// phase that issued it, no matter when it completes.
+type SLO struct {
+	// Store-side counts. A store is "skipped" when the key universe is
+	// exhausted (every key already stored).
+	StoresIssued  int `json:"storesIssued"`
+	StoresSkipped int `json:"storesSkipped,omitempty"`
+
+	// Retrieval-side counts. "Skipped" retrieval arrivals found nothing
+	// stored yet (or every candidate issuer busy with the same key);
+	// "lost" searchers were churned out before reporting an outcome.
+	Issued    int `json:"issued"`
+	Skipped   int `json:"skipped,omitempty"`
+	Completed int `json:"completed"`
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed"`
+	Lost      int `json:"lost,omitempty"`
+
+	// Latency quantiles in rounds, over successful retrievals only.
+	// Locate is request -> storage-committee roster learned; Complete is
+	// request -> item bytes reconstructed and verified.
+	LocateP50   int `json:"locateP50"`
+	LocateP95   int `json:"locateP95"`
+	LocateP99   int `json:"locateP99"`
+	CompleteP50 int `json:"completeP50"`
+	CompleteP95 int `json:"completeP95"`
+	CompleteP99 int `json:"completeP99"`
+	CompleteMax int `json:"completeMax"`
+}
+
+// SuccessRate returns succeeded / completed (1 when nothing completed, so
+// an idle phase does not read as an outage).
+func (s SLO) SuccessRate() float64 {
+	if s.Completed == 0 {
+		return 1
+	}
+	return float64(s.Succeeded) / float64(s.Completed)
+}
+
+// sloAccum is the mutable accumulator behind an SLO.
+type sloAccum struct {
+	slo      SLO
+	locate   stats.Counter
+	complete stats.Counter
+}
+
+func (a *sloAccum) record(locate, complete int, success bool) {
+	a.slo.Completed++
+	if !success {
+		a.slo.Failed++
+		return
+	}
+	a.slo.Succeeded++
+	if locate >= 0 {
+		a.locate.Add(locate)
+	}
+	if complete >= 0 {
+		a.complete.Add(complete)
+	}
+}
+
+func (a *sloAccum) finalize() SLO {
+	s := a.slo
+	s.LocateP50 = a.locate.Quantile(0.50)
+	s.LocateP95 = a.locate.Quantile(0.95)
+	s.LocateP99 = a.locate.Quantile(0.99)
+	s.CompleteP50 = a.complete.Quantile(0.50)
+	s.CompleteP95 = a.complete.Quantile(0.95)
+	s.CompleteP99 = a.complete.Quantile(0.99)
+	s.CompleteMax = a.complete.Max()
+	return s
+}
+
+// PhaseReport is the outcome of one phase.
+type PhaseReport struct {
+	Name   string `json:"name"`
+	Rounds int    `json:"rounds"`
+	// Replacements is the number of churn replacements during the phase;
+	// FaultDropped/Delayed count the fault model's interventions on
+	// messages sent during it.
+	Replacements int64 `json:"replacements"`
+	FaultDropped int64 `json:"faultDropped"`
+	Delayed      int64 `json:"delayed"`
+	SLO          SLO   `json:"slo"`
+}
+
+// Report is the final result of a scenario run. It is deterministic in
+// the Spec: two runs of the same spec render byte-identical reports.
+type Report struct {
+	Spec   Spec          `json:"spec"`
+	Rounds int           `json:"rounds"` // total rounds simulated (incl. warm-up and drain)
+	Phases []PhaseReport `json:"phases"`
+	Total  SLO           `json:"total"`
+	Stats  dynp2p.Stats  `json:"stats"`
+}
+
+// Fprint renders the report as an aligned text table (the idiom of
+// internal/expt tables and cmd/churnsim output).
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== scenario %s: n=%d seed=%d strategy=%s", r.Spec.Name, r.Spec.N, r.Spec.Seed, r.Spec.Strategy)
+	if r.Spec.ErasureK > 0 {
+		fmt.Fprintf(w, " erasureK=%d", r.Spec.ErasureK)
+	}
+	fmt.Fprintf(w, " ==\n")
+	fmt.Fprintf(w, "%d phases over %d rounds (incl. %d warm-up, %d drain)\n\n",
+		len(r.Spec.Phases), r.Rounds, r.Spec.WarmupRounds(), r.Spec.DrainRounds())
+
+	header := []string{"phase", "rounds", "churned", "stores", "retr", "ok", "fail", "lost", "succ%", "p50", "p95", "p99"}
+	rows := make([][]string, 0, len(r.Phases)+1)
+	for _, p := range r.Phases {
+		rows = append(rows, phaseRow(p.Name, p.Rounds, p.Replacements, p.SLO))
+	}
+	totalRounds := 0
+	var totalRepl int64
+	for _, p := range r.Phases {
+		totalRounds += p.Rounds
+		totalRepl += p.Replacements
+	}
+	rows = append(rows, phaseRow("TOTAL", totalRounds, totalRepl, r.Total))
+	printAligned(w, header, rows)
+
+	st := r.Stats
+	fmt.Fprintf(w, "\ntraffic: %d msgs sent, %d delivered, %d churn-dropped, %d fault-dropped, %d delayed\n",
+		st.Engine.MsgsSent, st.Engine.MsgsDelivered, st.Engine.MsgsDropped,
+		st.Engine.MsgsFaultDropped, st.Engine.MsgsDelayed)
+	if st.Engine.Rounds > 0 {
+		fmt.Fprintf(w, "load: %.1f bits/node/round mean, %d bits max per node-round\n",
+			float64(st.Engine.BitsSent)/float64(r.Spec.N)/float64(st.Engine.Rounds),
+			st.Engine.MaxNodeBitsRound)
+	}
+	soupTotal := st.Soup.Completed + st.Soup.Died + st.Soup.Overdue
+	if soupTotal > 0 {
+		fmt.Fprintf(w, "soup: %d walks completed of %d finished (%.1f%% survival)\n",
+			st.Soup.Completed, soupTotal, 100*float64(st.Soup.Completed)/float64(soupTotal))
+	}
+	fmt.Fprintf(w, "committees: %d created, %d handovers, %d resignations; churn: %d replacements\n",
+		st.Proto.CommitteesCreated, st.Proto.Handovers, st.Proto.Resignations, st.Engine.Replacements)
+	if r.Spec.ErasureK > 0 {
+		fmt.Fprintf(w, "erasure: %d re-dispersals, %d items lost to piece shortage\n",
+			st.Proto.IDARecoded, st.Proto.IDALost)
+	}
+}
+
+func phaseRow(name string, rounds int, repl int64, s SLO) []string {
+	return []string{
+		name,
+		fmt.Sprintf("%d", rounds),
+		fmt.Sprintf("%d", repl),
+		fmt.Sprintf("%d", s.StoresIssued),
+		fmt.Sprintf("%d", s.Issued),
+		fmt.Sprintf("%d", s.Succeeded),
+		fmt.Sprintf("%d", s.Failed),
+		fmt.Sprintf("%d", s.Lost),
+		fmt.Sprintf("%.1f", 100*s.SuccessRate()),
+		fmt.Sprintf("%d", s.CompleteP50),
+		fmt.Sprintf("%d", s.CompleteP95),
+		fmt.Sprintf("%d", s.CompleteP99),
+	}
+}
+
+func printAligned(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	for _, row := range rows {
+		line(row)
+	}
+}

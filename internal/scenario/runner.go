@@ -1,0 +1,357 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"dynp2p"
+	"dynp2p/internal/rng"
+)
+
+// Options configures a Run beyond the Spec itself.
+type Options struct {
+	// Trace, when non-nil, receives one JSON object per simulated round
+	// (JSONL). Trace output is deterministic in the Spec.
+	Trace io.Writer
+}
+
+// TraceRecord is one line of the per-round JSONL trace. Counter fields
+// are per-round deltas, not cumulative totals.
+type TraceRecord struct {
+	Round     int    `json:"round"`
+	Phase     string `json:"phase"`
+	Churned   int    `json:"churned"`
+	Stores    int    `json:"stores"`    // store requests issued this round
+	Retrieves int    `json:"retrieves"` // retrievals issued this round
+	Done      int    `json:"done"`      // retrievals completed this round
+	OK        int    `json:"ok"`        // ... of which succeeded
+	Lost      int    `json:"lost"`      // searchers churned out this round
+	Msgs      int64  `json:"msgs"`      // messages sent this round
+	FaultDrop int64  `json:"faultDrop"` // fault-model drops this round
+	Delayed   int64  `json:"delayed"`   // fault-model delays this round
+}
+
+// request tracks one in-flight retrieval issued by the runner.
+type request struct {
+	phase  int // issuing phase index
+	issued int // issuing round
+}
+
+// reqKey identifies an active retrieval: the protocol allows one active
+// search per (node, key).
+type reqKey struct {
+	id  dynp2p.NodeID
+	key uint64
+}
+
+// segMeta records a finished timeline segment and its engine-metric deltas.
+type segMeta struct {
+	name   string
+	rounds int
+	phase  int // index into Spec.Phases, or -1 for warm-up/drain
+	repl   int64
+	fdrop  int64
+	fdelay int64
+}
+
+type runner struct {
+	spec Spec
+	nw   *dynp2p.Network
+	// wr drives the workload: arrival counts, issuer choice, key
+	// popularity. Independent of the adversary and protocol streams.
+	wr    *rng.Stream
+	zipf  *rng.Zipf
+	trace io.Writer
+
+	payload map[uint64][]byte // key -> stored bytes, for verification
+	stored  []uint64          // keys stored so far, in store order
+	nextKey int
+
+	outstanding map[reqKey]request
+
+	accums []sloAccum // one per spec phase
+	total  sloAccum
+
+	prev dynp2p.Stats // snapshot for per-round deltas
+	segs []segMeta
+}
+
+// Run executes the spec and returns its report. The run is deterministic
+// in the Spec: same spec, same report and trace, byte for byte.
+func Run(spec Spec, opt Options) (*Report, error) {
+	spec.normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	strat, err := spec.strategy()
+	if err != nil {
+		return nil, err
+	}
+	nw := dynp2p.New(dynp2p.Config{
+		N: spec.N, Degree: spec.Degree, Seed: spec.Seed,
+		ChurnLaw: spec.schedule(), Strategy: strat,
+		ErasureK: spec.ErasureK,
+		Fault:    spec.Phases[0].Fault.model(),
+	})
+	r := &runner{
+		spec:        spec,
+		nw:          nw,
+		wr:          rng.Derive(spec.Seed, 0x3ce7a410),
+		zipf:        rng.NewZipf(spec.Keys, spec.ZipfS),
+		trace:       opt.Trace,
+		payload:     make(map[uint64][]byte, spec.Keys),
+		outstanding: make(map[reqKey]request),
+		accums:      make([]sloAccum, len(spec.Phases)),
+	}
+
+	// Warm-up: let the walk soup mix under phase 0's churn and faults,
+	// no workload yet.
+	r.runSegment(-1, "warmup", spec.WarmupRounds(), Workload{})
+	for i := range spec.Phases {
+		p := &spec.Phases[i]
+		nw.SetFault(p.Fault.model())
+		r.runSegment(i, p.Name, p.Rounds, p.Load)
+	}
+	// Drain: workload stops, the last phase's faults persist, churn goes
+	// quiet (the schedule has ended); in-flight retrievals finish or
+	// expire within one search TTL.
+	r.runSegment(-1, "drain", spec.DrainRounds(), Workload{})
+
+	// Anything still outstanding never reported (its issuer survived but
+	// e.g. never assembled a search committee): count as lost.
+	for k, req := range r.outstanding {
+		r.accums[req.phase].slo.Lost++
+		r.total.slo.Lost++
+		delete(r.outstanding, k)
+	}
+
+	return r.report(), nil
+}
+
+// runSegment simulates rounds with the given workload, attributing issued
+// requests to spec phase pi (-1 = none).
+func (r *runner) runSegment(pi int, name string, rounds int, load Workload) {
+	start := r.nw.Stats()
+	for i := 0; i < rounds; i++ {
+		stores := r.issueStores(pi, load.StoreRate)
+		retrieves := r.issueRetrieves(pi, load.RetrieveRate)
+		r.nw.Run(1)
+		done, ok := r.drainResults()
+		lost := r.reapLost()
+		if r.trace != nil {
+			r.writeTrace(name, stores, retrieves, done, ok, lost)
+		}
+	}
+	end := r.nw.Stats()
+	r.segs = append(r.segs, segMeta{
+		name: name, rounds: rounds, phase: pi,
+		repl:   end.Engine.Replacements - start.Engine.Replacements,
+		fdrop:  end.Engine.MsgsFaultDropped - start.Engine.MsgsFaultDropped,
+		fdelay: end.Engine.MsgsDelayed - start.Engine.MsgsDelayed,
+	})
+}
+
+// issueStores issues Poisson(rate) store requests. Each stores the next
+// unstored key of the universe; once every key is stored further arrivals
+// are counted as skipped. Stores are issued from old nodes (best of four
+// random slots by join round): the paper's Theorem 3 guarantees storage
+// for nodes that have been in the network a while, not for newcomers.
+func (r *runner) issueStores(pi int, rate float64) int {
+	n := r.poisson(rate)
+	issued := 0
+	for i := 0; i < n; i++ {
+		if pi < 0 {
+			continue
+		}
+		if r.nextKey >= r.spec.Keys {
+			r.accums[pi].slo.StoresSkipped++
+			r.total.slo.StoresSkipped++
+			continue
+		}
+		key := keyFor(r.nextKey)
+		data := r.itemData(key)
+		r.nextKey++
+		r.payload[key] = data
+		r.stored = append(r.stored, key)
+		r.nw.Store(r.pickOldSlot(), key, data)
+		r.accums[pi].slo.StoresIssued++
+		r.total.slo.StoresIssued++
+		issued++
+	}
+	return issued
+}
+
+// issueRetrieves issues Poisson(rate) retrievals. Keys are drawn by Zipf
+// popularity rank over the stored set; issuers are uniform random slots
+// (retrieval is an any-node operation). An arrival that finds nothing
+// stored yet, or whose candidate issuers are all busy retrieving the same
+// key, is counted as skipped.
+func (r *runner) issueRetrieves(pi int, rate float64) int {
+	n := r.poisson(rate)
+	issued := 0
+	for i := 0; i < n; i++ {
+		if pi < 0 {
+			continue
+		}
+		if len(r.stored) == 0 {
+			r.accums[pi].slo.Skipped++
+			r.total.slo.Skipped++
+			continue
+		}
+		key := r.stored[r.zipf.Next(r.wr)%len(r.stored)]
+		placed := false
+		for try := 0; try < 8; try++ {
+			slot := r.wr.Intn(r.spec.N)
+			k := reqKey{id: r.nw.IDAt(slot), key: key}
+			if _, busy := r.outstanding[k]; busy {
+				continue
+			}
+			r.outstanding[k] = request{phase: pi, issued: r.nw.Round()}
+			r.nw.Retrieve(slot, key, r.payload[key])
+			placed = true
+			break
+		}
+		if placed {
+			r.accums[pi].slo.Issued++
+			r.total.slo.Issued++
+			issued++
+		} else {
+			r.accums[pi].slo.Skipped++
+			r.total.slo.Skipped++
+		}
+	}
+	return issued
+}
+
+// drainResults consumes completed retrievals and records their SLOs
+// against the phase that issued them.
+func (r *runner) drainResults() (done, ok int) {
+	for _, res := range r.nw.Results() {
+		k := reqKey{id: res.Searcher, key: res.Key}
+		req, known := r.outstanding[k]
+		if !known {
+			continue // not issued by this runner (defensive)
+		}
+		delete(r.outstanding, k)
+		locate, complete := -1, -1
+		if res.Found >= 0 {
+			locate = res.Found - res.Start
+		}
+		if res.Done >= 0 {
+			complete = res.Done - res.Start
+		}
+		r.accums[req.phase].record(locate, complete, res.Success)
+		r.total.record(locate, complete, res.Success)
+		done++
+		if res.Success {
+			ok++
+		}
+	}
+	return done, ok
+}
+
+// reapLost removes outstanding retrievals whose searcher has been churned
+// out: departed nodes report nothing, the model's failure mode.
+func (r *runner) reapLost() int {
+	lost := 0
+	for k, req := range r.outstanding {
+		if r.nw.IsLive(k.id) {
+			continue
+		}
+		delete(r.outstanding, k)
+		r.accums[req.phase].slo.Lost++
+		r.total.slo.Lost++
+		lost++
+	}
+	return lost
+}
+
+func (r *runner) writeTrace(phase string, stores, retrieves, done, ok, lost int) {
+	cur := r.nw.Stats()
+	rec := TraceRecord{
+		Round:     r.nw.Round() - 1,
+		Phase:     phase,
+		Churned:   int(cur.Engine.Replacements - r.prev.Engine.Replacements),
+		Stores:    stores,
+		Retrieves: retrieves,
+		Done:      done,
+		OK:        ok,
+		Lost:      lost,
+		Msgs:      cur.Engine.MsgsSent - r.prev.Engine.MsgsSent,
+		FaultDrop: cur.Engine.MsgsFaultDropped - r.prev.Engine.MsgsFaultDropped,
+		Delayed:   cur.Engine.MsgsDelayed - r.prev.Engine.MsgsDelayed,
+	}
+	r.prev = cur
+	b, err := json.Marshal(rec)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: trace marshal: %v", err))
+	}
+	r.trace.Write(append(b, '\n'))
+}
+
+func (r *runner) report() *Report {
+	rep := &Report{
+		Spec:   r.spec,
+		Rounds: r.nw.Round(),
+		Total:  r.total.finalize(),
+		Stats:  r.nw.Stats(),
+	}
+	for _, seg := range r.segs {
+		pr := PhaseReport{
+			Name: seg.name, Rounds: seg.rounds,
+			Replacements: seg.repl, FaultDropped: seg.fdrop, Delayed: seg.fdelay,
+		}
+		if seg.phase >= 0 {
+			pr.SLO = r.accums[seg.phase].finalize()
+		}
+		rep.Phases = append(rep.Phases, pr)
+	}
+	return rep
+}
+
+// pickOldSlot returns the oldest of four random slots (power-of-choices
+// bias toward Core nodes without scanning the whole network).
+func (r *runner) pickOldSlot() int {
+	e := r.nw.Engine()
+	best := r.wr.Intn(r.spec.N)
+	bestJoin := e.JoinRound(best)
+	for i := 0; i < 3; i++ {
+		s := r.wr.Intn(r.spec.N)
+		if jr := e.JoinRound(s); jr < bestJoin {
+			best, bestJoin = s, jr
+		}
+	}
+	return best
+}
+
+// poisson draws a Poisson(lambda) variate (Knuth's method; fine for the
+// per-round arrival rates scenarios use).
+func (r *runner) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= r.wr.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// itemData builds the deterministic payload for a key.
+func (r *runner) itemData(key uint64) []byte {
+	buf := make([]byte, r.spec.ItemLen)
+	for j := range buf {
+		buf[j] = byte(key + uint64(j)*131)
+	}
+	return buf
+}
+
+// keyFor maps a key index to its item key (offset so keys are visibly
+// distinct from slot numbers in traces).
+func keyFor(i int) uint64 { return uint64(100 + i) }

@@ -1,0 +1,250 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		spec, err := Builtin(name, 256, 9)
+		if err != nil {
+			t.Fatalf("Builtin(%s): %v", name, err)
+		}
+		data, err := spec.MarshalIndent()
+		if err != nil {
+			t.Fatalf("marshal %s: %v", name, err)
+		}
+		back, err := ParseSpec(data)
+		if err != nil {
+			t.Fatalf("reparse %s: %v", name, err)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Fatalf("%s: spec changed across JSON round-trip:\n%+v\nvs\n%+v", name, spec, back)
+		}
+	}
+}
+
+func TestParseSpecRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":   `{"name":"x","n":64,"phases":[{"name":"p","rounds":5}],"bogus":1}`,
+		"tiny n":          `{"name":"x","n":4,"phases":[{"name":"p","rounds":5}]}`,
+		"no phases":       `{"name":"x","n":64,"phases":[]}`,
+		"zero rounds":     `{"name":"x","n":64,"phases":[{"name":"p","rounds":0}]}`,
+		"drop too high":   `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"fault":{"drop":1.5}}]}`,
+		"negative rate":   `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"load":{"storeRate":-1}}]}`,
+		"odd degree":      `{"name":"x","n":64,"degree":7,"phases":[{"name":"p","rounds":5}]}`,
+		"bad strategy":    `{"name":"x","n":64,"strategy":"chaotic","phases":[{"name":"p","rounds":5}]}`,
+		"negative churn":  `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"churn":{"fixed":-2}}]}`,
+		"negative delay":  `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"fault":{"delayProb":0.5,"maxDelay":-1}}]}`,
+		"negative delta":  `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"churn":{"rate":0.5,"delta":-0.9}}]}`,
+		"overwide burst":  `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"churn":{"burstPeriod":4,"burstWidth":10,"burstCount":8}}]}`,
+		"malformed json":  `{"name":`,
+	}
+	for label, in := range cases {
+		if _, err := ParseSpec([]byte(in)); err == nil {
+			t.Errorf("%s: ParseSpec accepted %s", label, in)
+		}
+	}
+}
+
+func TestParseSpecAppliesDefaults(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{"name":"x","n":64,"phases":[{"name":"p","rounds":5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Degree != 8 || spec.Keys != 16 || spec.ItemLen != 128 || spec.ZipfS != 0.9 || spec.Strategy != "uniform" {
+		t.Fatalf("defaults not applied: %+v", spec)
+	}
+}
+
+// testSpec builds a small three-phase spec with sharply distinguishable
+// phase behaviour: quiet, then fixed churn, then lossy links.
+func testSpec() Spec {
+	return Spec{
+		Name: "phases", N: 64, Seed: 5, Keys: 4, ItemLen: 32,
+		Phases: []Phase{
+			{Name: "quiet", Rounds: 12, Load: Workload{StoreRate: 1}},
+			{Name: "churny", Rounds: 10, Churn: Churn{Fixed: 3}, Load: Workload{RetrieveRate: 0.5}},
+			{Name: "lossy", Rounds: 10, Fault: Fault{Drop: 0.3}, Load: Workload{RetrieveRate: 0.5}},
+		},
+	}
+}
+
+func TestPhaseTransitions(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := Run(testSpec(), Options{Trace: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var recs []TraceRecord
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var r TraceRecord
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != rep.Rounds {
+		t.Fatalf("trace has %d lines, report says %d rounds", len(recs), rep.Rounds)
+	}
+
+	// The timeline must be warmup, quiet, churny, lossy, drain in order
+	// with the spec's durations.
+	spec := rep.Spec
+	wantPhases := []struct {
+		name   string
+		rounds int
+	}{
+		{"warmup", spec.WarmupRounds()},
+		{"quiet", 12},
+		{"churny", 10},
+		{"lossy", 10},
+		{"drain", spec.DrainRounds()},
+	}
+	i := 0
+	for _, w := range wantPhases {
+		for j := 0; j < w.rounds; j++ {
+			if recs[i].Phase != w.name {
+				t.Fatalf("round %d: phase %q, want %q", i, recs[i].Phase, w.name)
+			}
+			if recs[i].Round != i {
+				t.Fatalf("trace round numbering broken at %d: %d", i, recs[i].Round)
+			}
+			i++
+		}
+	}
+	if i != len(recs) {
+		t.Fatalf("trace has %d extra rounds", len(recs)-i)
+	}
+
+	// Per-phase behaviour: churn only in "churny" (warmup inherits phase
+	// 0's law = quiet), faults only from "lossy" on (the drain keeps the
+	// last phase's fault model).
+	for _, r := range recs {
+		switch r.Phase {
+		case "churny":
+			if r.Churned != 3 {
+				t.Fatalf("round %d (churny): churned %d, want 3", r.Round, r.Churned)
+			}
+		case "warmup", "quiet":
+			if r.Churned != 0 {
+				t.Fatalf("round %d (%s): churned %d, want 0", r.Round, r.Phase, r.Churned)
+			}
+			if r.FaultDrop != 0 {
+				t.Fatalf("round %d (%s): faultDrop %d before lossy phase", r.Round, r.Phase, r.FaultDrop)
+			}
+		case "drain":
+			if r.Churned != 0 {
+				t.Fatalf("round %d (drain): churned %d, want 0", r.Round, r.Churned)
+			}
+		}
+	}
+	var lossyDrops int64
+	for _, r := range recs {
+		if r.Phase == "lossy" || r.Phase == "drain" {
+			lossyDrops += r.FaultDrop
+		}
+	}
+	if lossyDrops == 0 {
+		t.Fatal("lossy phase dropped no messages at drop=0.3")
+	}
+	if rep.Stats.Engine.MsgsFaultDropped != lossyDrops {
+		t.Fatalf("fault drops outside lossy+drain: engine %d, traced %d",
+			rep.Stats.Engine.MsgsFaultDropped, lossyDrops)
+	}
+
+	// Request accounting: every issued retrieval is eventually completed
+	// or lost; phase SLOs sum to the total.
+	tot := rep.Total
+	if tot.Issued != tot.Completed+tot.Lost {
+		t.Fatalf("accounting: issued %d != completed %d + lost %d", tot.Issued, tot.Completed, tot.Lost)
+	}
+	if tot.Completed != tot.Succeeded+tot.Failed {
+		t.Fatalf("accounting: completed %d != ok %d + fail %d", tot.Completed, tot.Succeeded, tot.Failed)
+	}
+	var sum SLO
+	for _, p := range rep.Phases {
+		sum.StoresIssued += p.SLO.StoresIssued
+		sum.Issued += p.SLO.Issued
+		sum.Completed += p.SLO.Completed
+		sum.Succeeded += p.SLO.Succeeded
+		sum.Failed += p.SLO.Failed
+		sum.Lost += p.SLO.Lost
+	}
+	if sum.StoresIssued != tot.StoresIssued || sum.Issued != tot.Issued ||
+		sum.Completed != tot.Completed || sum.Succeeded != tot.Succeeded ||
+		sum.Failed != tot.Failed || sum.Lost != tot.Lost {
+		t.Fatalf("phase SLOs don't sum to total:\nphases %+v\ntotal  %+v", sum, tot)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	run := func() (*Report, string, string) {
+		var trace, out bytes.Buffer
+		rep, err := Run(testSpec(), Options{Trace: &trace})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Fprint(&out)
+		return rep, trace.String(), out.String()
+	}
+	rep1, trace1, out1 := run()
+	rep2, trace2, out2 := run()
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Fatalf("reports differ across identical runs:\n%+v\nvs\n%+v", rep1, rep2)
+	}
+	if trace1 != trace2 {
+		t.Fatal("traces differ across identical runs")
+	}
+	if out1 != out2 {
+		t.Fatal("rendered reports differ across identical runs")
+	}
+}
+
+func TestBuiltinsSmoke(t *testing.T) {
+	// Every builtin must run end to end at a small size. This is the CI
+	// guard that the whole library stays executable.
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := Builtin(name, 128, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Run(spec, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Rounds != spec.TotalRounds() {
+				t.Fatalf("ran %d rounds, spec says %d", rep.Rounds, spec.TotalRounds())
+			}
+			tot := rep.Total
+			if tot.StoresIssued == 0 {
+				t.Fatal("no stores issued")
+			}
+			if tot.Issued == 0 {
+				t.Fatal("no retrievals issued")
+			}
+			if tot.Issued != tot.Completed+tot.Lost {
+				t.Fatalf("accounting: issued %d != completed %d + lost %d",
+					tot.Issued, tot.Completed, tot.Lost)
+			}
+			var out bytes.Buffer
+			rep.Fprint(&out)
+			if !strings.Contains(out.String(), "TOTAL") {
+				t.Fatal("report table missing TOTAL row")
+			}
+		})
+	}
+}
+
+func TestUnknownBuiltin(t *testing.T) {
+	if _, err := Builtin("no-such", 128, 1); err == nil {
+		t.Fatal("unknown builtin accepted")
+	}
+}

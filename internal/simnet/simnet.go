@@ -8,7 +8,9 @@
 //  4. every live node's protocol handler runs with the messages that were
 //     addressed to it, and may send new id-addressed messages;
 //  5. outgoing messages are routed: a message to an id that has been
-//     churned out is silently dropped — the model's failure mode.
+//     churned out is silently dropped — the model's failure mode. An
+//     optional FaultModel (fault.go) may additionally drop or delay
+//     messages at this point, modelling lossy links on top of churn.
 //
 // The engine distinguishes *slots* (0..n-1, the stable positions the
 // adversary's topology is defined over) from *node ids* (the identities
@@ -51,7 +53,11 @@ type Msg struct {
 	IDs  []NodeID // id-list payload (committee rosters etc.); may be nil
 	Blob []byte   // data payload (item copies, IDA pieces); may be nil
 
-	seq uint32 // per-sender per-round sequence, for canonical inbox order
+	// (sentRound, seq) is unique per sender, which gives inboxes a total
+	// canonical order even when fault-delayed messages from an earlier
+	// round land beside fresh ones.
+	sentRound int32
+	seq       uint32 // per-sender per-round sequence
 }
 
 // Bits returns the message's modelled wire size in bits. The paper requires
@@ -102,6 +108,7 @@ type Config struct {
 	ProtocolSeed  uint64         // drives all protocol randomness
 	Strategy      churn.Strategy // which slots get churned
 	Law           churn.Law      // how many per round
+	Fault         FaultModel     // message-level faults; nil = reliable links
 	Workers       int            // parallel handler workers; 0 = GOMAXPROCS
 }
 
@@ -111,8 +118,12 @@ type Metrics struct {
 	MsgsSent      int64
 	MsgsDelivered int64
 	MsgsDropped   int64 // addressed to churned-out ids
-	BitsSent      int64
-	Replacements  int64
+	// MsgsFaultDropped / MsgsDelayed count the fault model's interventions
+	// (losses and deferred deliveries respectively).
+	MsgsFaultDropped int64
+	MsgsDelayed      int64
+	BitsSent         int64
+	Replacements     int64
 	// MaxNodeBitsRound is the largest per-node bits-sent observed in any
 	// single round (the scalability audit for E9).
 	MaxNodeBitsRound int64
@@ -132,6 +143,10 @@ type Engine struct {
 
 	inbox     [][]Msg // slot -> messages to deliver this round
 	nextInbox [][]Msg // slot -> messages accumulated for next round
+
+	fault     FaultModel   // nil = reliable links
+	faultSeed uint64       // derived from the adversary seed
+	delayed   []delayedMsg // fault-delayed messages awaiting delivery
 
 	churned []int // slots replaced in the current round
 
@@ -186,6 +201,8 @@ func New(cfg Config) *Engine {
 		inbox:         make([][]Msg, cfg.N),
 		nextInbox:     make([][]Msg, cfg.N),
 		bitsThisRound: make([]int64, cfg.N),
+		fault:         cfg.Fault,
+		faultSeed:     rng.Hash(cfg.AdversarySeed, 0xfa017),
 		workers:       workers,
 		perWorker:     make([]workerOut, workers),
 	}
@@ -194,13 +211,6 @@ func New(cfg Config) *Engine {
 		e.placeNewNode(s, 0)
 	}
 	return e
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // placeNewNode installs a fresh identity in slot s at the given round.
@@ -292,6 +302,7 @@ func (c *Ctx) Send(to NodeID, kind uint8, item, aux uint64, ids []NodeID) {
 // SendMsg queues m (with From and sequencing filled in by the engine).
 func (c *Ctx) SendMsg(m Msg) {
 	m.From = c.ID
+	m.sentRound = int32(c.Round)
 	m.seq = c.seq
 	c.seq++
 	c.bits += int64(m.Bits())
@@ -354,6 +365,7 @@ func (e *Engine) RunRound(h Handler) {
 	for s := range e.inbox {
 		e.metrics.MsgsDelivered += int64(len(e.inbox[s]))
 	}
+	e.deliverDelayed(round)
 
 	// 3. Hooks (walk soup etc).
 	for _, hook := range e.hooks {
@@ -395,6 +407,9 @@ func (e *Engine) runHandlers(h Handler, round int) {
 					if in[i].From != in[j].From {
 						return in[i].From < in[j].From
 					}
+					if in[i].sentRound != in[j].sentRound {
+						return in[i].sentRound < in[j].sentRound
+					}
 					return in[i].seq < in[j].seq
 				})
 				ctx := Ctx{
@@ -425,6 +440,9 @@ func (e *Engine) route() {
 	for wi := range e.perWorker {
 		for _, m := range e.perWorker[wi].msgs {
 			e.metrics.MsgsSent++
+			if e.fault != nil && !e.applyFault(&m) {
+				continue
+			}
 			s, ok := e.slotOf[m.To]
 			if !ok {
 				e.metrics.MsgsDropped++
