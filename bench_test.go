@@ -8,11 +8,13 @@ package dynp2p_test
 // whole evaluation. EXPERIMENTS.md records the full tables.
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
 
 	"dynp2p"
+	"dynp2p/internal/bench"
 	"dynp2p/internal/expt"
 )
 
@@ -134,17 +136,18 @@ func BenchmarkE13Ablations(b *testing.B) {
 }
 
 // BenchmarkMicroSimRound measures raw engine+soup+protocol throughput: one
-// full simulated round of a 4096-node network under churn.
+// full simulated round of an n-node network under churn (the shared
+// bench.FullRound workload, so this and internal/bench's BenchmarkFullRound
+// always measure the same thing). The large size is the scale Theorems
+// 1–4's w.h.p. bounds need; -short drops it.
 func BenchmarkMicroSimRound(b *testing.B) {
-	nw := dynp2p.New(dynp2p.Config{N: 4096, ChurnRate: 1, ChurnDelta: 1.0, Seed: 1})
-	nw.Run(nw.WarmupRounds())
-	nw.Store(0, 1, make([]byte, 64))
-	nw.Run(4)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		nw.Run(1)
+	ns := []int{4096, 65536}
+	if testing.Short() {
+		ns = ns[:1]
 	}
-	b.ReportMetric(float64(nw.Stats().Soup.Moves)/float64(nw.Round()), "token-moves/round")
+	for _, n := range ns {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { bench.FullRound(b, n) })
+	}
 }
 
 // BenchmarkMicroStoreRetrieve measures one complete store+retrieve cycle.

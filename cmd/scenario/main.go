@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"dynp2p/internal/scenario"
 )
@@ -31,6 +33,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a per-round JSONL trace to this file")
 	list := flag.Bool("list", false, "list builtin scenarios and exit")
 	dump := flag.Bool("dump", false, "print the resolved spec as JSON and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
 
 	if *list {
@@ -77,9 +81,38 @@ func main() {
 		opt.Trace = f
 	}
 
-	rep, err := scenario.Run(spec, opt)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	// Profiling brackets the run itself (not spec loading or reporting) so
+	// perf work profiles real scenario workloads, not CLI overhead.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	rep, runErr := scenario.Run(spec, opt)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile shows live memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, runErr)
 		os.Exit(1)
 	}
 	rep.Fprint(os.Stdout)

@@ -91,7 +91,13 @@ type Config struct {
 	// ErasureK > 0 enables IDA erasure-coded storage (§4.4) with
 	// reconstruction threshold K; pieces = committee size.
 	ErasureK int
-	// Workers bounds simulation parallelism (0 = all cores).
+	// Workers bounds simulation parallelism (0 = all cores). It is a
+	// throughput knob only: a run is bit-identical — same metrics, same
+	// retrieval results, same walk samples — at every Workers value,
+	// because handler randomness is per-node, fault fates are stateless
+	// hashes, and message/token exchanges merge a fixed shard grid in
+	// fixed order (see DESIGN.md §6). TestWorkerCountIndependence
+	// enforces this.
 	Workers int
 	// StaticEdges freezes the topology (edges stop changing; churn still
 	// replaces occupants). Default false: edges re-randomise every round.

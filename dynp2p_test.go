@@ -2,9 +2,12 @@ package dynp2p
 
 import (
 	"bytes"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"dynp2p/internal/rng"
+	"dynp2p/internal/walks"
 )
 
 func TestFacadeStoreRetrieve(t *testing.T) {
@@ -55,6 +58,54 @@ func TestFacadeDeterminism(t *testing.T) {
 	s2, r2 := run()
 	if s1 != s2 || r1 != r2 {
 		t.Fatalf("same config produced different stats:\n%+v\n%+v", s1, s2)
+	}
+}
+
+// TestWorkerCountIndependence is the facade-level regression net for the
+// engine's sort-free canonical ordering: on a faulty, churning 2048-node
+// network running the full protocol stack, the engine metrics, every
+// retrieval result, and the walk soup's per-slot sample sets must be
+// bit-identical for Workers ∈ {1, 3, GOMAXPROCS}.
+func TestWorkerCountIndependence(t *testing.T) {
+	type snapshot struct {
+		stats   Stats
+		results []Result
+		samples [][]walks.Sample // per slot, last round's completed walks
+	}
+	run := func(workers int) snapshot {
+		nw := New(Config{
+			N: 2048, ChurnRate: 1, ChurnDelta: 1.0, Seed: 5, Workers: workers,
+			Fault: FaultConfig{DropProb: 0.03, DelayProb: 0.1, MaxDelay: 2},
+		})
+		nw.Run(nw.WarmupRounds())
+		data := make([]byte, 48)
+		rng.New(4).Fill(data)
+		nw.Store(0, 7, data)
+		nw.Run(nw.Tunables().Protocol.Period)
+		nw.Retrieve(1024, 7, data)
+		nw.Retrieve(99, 7, data)
+		nw.Run(nw.Tunables().Protocol.SearchTTL + 4)
+		snap := snapshot{stats: nw.Stats(), results: nw.Results()}
+		for s := 0; s < nw.N(); s++ {
+			snap.samples = append(snap.samples,
+				append([]walks.Sample(nil), nw.Soup().Samples(s)...))
+		}
+		return snap
+	}
+	base := run(1)
+	for _, w := range []int{3, runtime.GOMAXPROCS(0)} {
+		got := run(w)
+		if base.stats != got.stats {
+			t.Errorf("workers=%d: stats differ:\n%+v\n%+v", w, base.stats, got.stats)
+		}
+		if !reflect.DeepEqual(base.results, got.results) {
+			t.Errorf("workers=%d: retrieval results differ:\n%+v\n%+v", w, base.results, got.results)
+		}
+		for s := range base.samples {
+			if !reflect.DeepEqual(base.samples[s], got.samples[s]) {
+				t.Fatalf("workers=%d: soup samples differ at slot %d", w, s)
+			}
+		}
 	}
 }
 

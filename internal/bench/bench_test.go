@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"dynp2p/internal/churn"
+	"dynp2p/internal/expander"
+	"dynp2p/internal/simnet"
+	"dynp2p/internal/walks"
+)
+
+// sizes returns the network sizes the round-loop benchmarks run at.
+func sizes() []int {
+	if testing.Short() {
+		return []int{4096}
+	}
+	return []int{4096, 65536}
+}
+
+// fanoutHandler sends a fixed number of messages per node per round to
+// pseudo-random live targets, exercising the handler fan-out and routing
+// paths without any protocol logic on top.
+type fanoutHandler struct{ fanout int }
+
+func (fanoutHandler) OnJoin(*simnet.Engine, int, simnet.NodeID, int)  {}
+func (fanoutHandler) OnLeave(*simnet.Engine, int, simnet.NodeID, int) {}
+func (h fanoutHandler) HandleRound(ctx *simnet.Ctx) {
+	n := ctx.E.N()
+	for i := 0; i < h.fanout; i++ {
+		ctx.Send(ctx.E.IDAt(ctx.Rand.Intn(n)), 1, 0, 0, nil)
+	}
+}
+
+// BenchmarkRouteOnly measures one engine round whose only work is message
+// fan-out and routing: static topology, no churn, no soup, 4 messages per
+// node per round. In steady state this path must be allocation-free.
+func BenchmarkRouteOnly(b *testing.B) {
+	for _, n := range sizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e := simnet.New(simnet.Config{
+				N: n, Degree: 8, EdgeMode: expander.Static,
+				AdversarySeed: 1, ProtocolSeed: 2, Law: churn.ZeroLaw{},
+			})
+			h := fanoutHandler{fanout: 4}
+			// Warm to steady state so inbox/shard buffers reach capacity
+			// (inbox sizes are random maxima; give them time to peak).
+			e.Run(h, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.RunRound(h)
+			}
+			b.ReportMetric(float64(4*n), "msgs/round")
+		})
+	}
+}
+
+// BenchmarkSoupOnly measures one engine round whose only work is the
+// random-walk soup plus per-round topology re-randomisation: the token
+// scatter/gather exchange at the paper's default walk density.
+func BenchmarkSoupOnly(b *testing.B) {
+	for _, n := range sizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e := simnet.New(simnet.Config{
+				N: n, Degree: 8, EdgeMode: expander.Rerandomize,
+				AdversarySeed: 1, ProtocolSeed: 2, Law: churn.ZeroLaw{},
+			})
+			soup := walks.NewSoup(e, walks.DefaultParams(n), 0)
+			e.AddHook(soup)
+			// Warm until the in-flight token population is steady (one walk
+			// lifetime plus slack) so bucket and exchange buffers stop
+			// growing.
+			e.Run(simnet.NopHandler{}, walks.DefaultParams(n).WalkLength+16)
+			startMoves := soup.Metrics().Moves
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.RunRound(simnet.NopHandler{})
+			}
+			b.StopTimer()
+			moves := soup.Metrics().Moves - startMoves
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(moves)/s, "token-moves/s")
+			}
+		})
+	}
+}
+
+// BenchmarkFullRound measures one round of the complete stack — engine,
+// soup, committees/landmarks/storage protocol — under the paper's churn
+// law. The body is FullRound, shared with the root-level
+// BenchmarkMicroSimRound.
+func BenchmarkFullRound(b *testing.B) {
+	for _, n := range sizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { FullRound(b, n) })
+	}
+}

@@ -1,0 +1,12 @@
+// Package bench holds the round-loop micro-benchmarks that track the
+// simulation engine's performance trajectory across PRs:
+//
+//   - BenchmarkRouteOnly  — handler fan-out + message routing, no soup;
+//   - BenchmarkSoupOnly   — walk-soup token exchange + topology re-randomise;
+//   - BenchmarkFullRound  — the complete dynp2p stack under churn.
+//
+// Each runs at n ∈ {4096, 65536} (-short drops the large size). The
+// scripts/bench.sh wrapper parses the output into BENCH_roundloop.json
+// (ns/round, allocs/round, token-moves/s) and enforces the committed
+// steady-state allocation budget; see DESIGN.md §6 for how to read it.
+package bench

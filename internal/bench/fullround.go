@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"testing"
+
+	"dynp2p"
+)
+
+// FullRound is the canonical full-stack round benchmark body: one simulated
+// round of an n-node network — engine, soup, committees/landmarks/storage —
+// under the paper's churn law, with one item stored. It is the single
+// source of truth for the "full round" number: BenchmarkFullRound here and
+// the root-level BenchmarkMicroSimRound both run it, so the committed
+// BENCH_roundloop.json trajectory and the experiment-suite benchmark can
+// never drift onto different workloads.
+func FullRound(b *testing.B, n int) {
+	nw := dynp2p.New(dynp2p.Config{N: n, ChurnRate: 1, ChurnDelta: 1.0, Seed: 1})
+	nw.Run(nw.WarmupRounds())
+	nw.Store(0, 1, make([]byte, 64))
+	nw.Run(4)
+	startMoves := nw.Stats().Soup.Moves
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Run(1)
+	}
+	b.StopTimer()
+	moves := nw.Stats().Soup.Moves - startMoves
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(moves)/s, "token-moves/s")
+	}
+	b.ReportMetric(float64(nw.Stats().Soup.Moves)/float64(nw.Round()), "token-moves/round")
+}

@@ -169,13 +169,36 @@ func (a *Adversary) Batch(round int) []int {
 	if count <= 0 {
 		return a.batch[:0]
 	}
+	// Laws are supposed to clamp to n, but Law is a public interface:
+	// enforce the bound here so a misbehaving implementation cannot make
+	// the batch emit out-of-range (or duplicate) slot indices.
+	if count > a.n {
+		count = a.n
+	}
 	if cap(a.batch) < count {
 		a.batch = make([]int, count)
 	}
 	a.batch = a.batch[:count]
 	switch a.strategy {
 	case Uniform:
-		copy(a.batch, a.r.SampleK(a.n, count))
+		// Reservoir-sample count distinct slots directly into the reused
+		// batch buffer; draw-for-draw identical to rng.SampleK, without
+		// its fresh result slice.
+		if count >= a.n {
+			for i := range a.batch {
+				a.batch[i] = i
+			}
+		} else {
+			for i := 0; i < count; i++ {
+				a.batch[i] = i
+			}
+			for i := count; i < a.n; i++ {
+				if j := a.r.Intn(i + 1); j < count {
+					a.batch[j] = i
+				}
+			}
+		}
+		a.r.ShuffleInts(a.batch)
 	case OldestFirst:
 		// Pop the oldest `count` slots and requeue them at the back
 		// (they rejoin now, becoming the youngest).

@@ -72,6 +72,34 @@ func TestBatchDistinctAndInRange(t *testing.T) {
 	}
 }
 
+// overLaw is a misbehaving Law returning more replacements than slots.
+type overLaw struct{}
+
+func (overLaw) PerRound(n, _ int) int { return 3 * n }
+func (overLaw) String() string        { return "3n/round" }
+
+func TestBatchClampsMisbehavingLaw(t *testing.T) {
+	// Law is a public interface; the adversary must bound a law that asks
+	// for more replacements than there are slots, keeping batches distinct
+	// and in range.
+	for _, strat := range []Strategy{Uniform, OldestFirst, YoungestFirst, SweepBurst} {
+		a := NewAdversary(20, 7, strat, overLaw{})
+		for round := 0; round < 5; round++ {
+			b := a.Batch(round)
+			if len(b) != 20 {
+				t.Fatalf("%v: batch size %d, want 20 (clamped)", strat, len(b))
+			}
+			seen := make(map[int]bool)
+			for _, s := range b {
+				if s < 0 || s >= 20 || seen[s] {
+					t.Fatalf("%v: bad slot %d in clamped batch %v", strat, s, b)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}
+
 func TestAdversaryDeterministic(t *testing.T) {
 	for _, strat := range []Strategy{Uniform, OldestFirst, YoungestFirst, SweepBurst} {
 		a := NewAdversary(100, 7, strat, FixedLaw{Count: 9})

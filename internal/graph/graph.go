@@ -22,6 +22,7 @@ import (
 type Graph struct {
 	n, d int
 	adj  []int32 // adj[v*d+p] = p-th neighbour of v
+	perm []int32 // scratch for the Fill* constructors, reused across rounds
 }
 
 // New returns an edgeless graph shell with capacity for n vertices of
@@ -72,15 +73,26 @@ func RandomRegular(n, d int, r *rng.Stream) *Graph {
 	return g
 }
 
+// permScratch returns the reusable n-length permutation buffer, allocating
+// it on first use. Keeping it on the Graph makes every subsequent per-round
+// re-randomisation allocation-free.
+func (g *Graph) permScratch() []int32 {
+	if g.perm == nil {
+		g.perm = make([]int32, g.n)
+	}
+	return g.perm
+}
+
 // FillRandomRegular overwrites g's edges with a fresh permutation-model
-// d-regular multigraph drawn from r. It reuses g's storage, so the dynamic
-// network can re-randomise edges every round with zero allocation.
+// d-regular multigraph drawn from r. It reuses g's storage (adjacency and
+// permutation scratch), so the dynamic network can re-randomise edges every
+// round with zero allocation.
 func (g *Graph) FillRandomRegular(r *rng.Stream) {
 	if g.d%2 != 0 {
 		panic("graph: FillRandomRegular requires even degree")
 	}
 	half := g.d / 2
-	perm := make([]int32, g.n)
+	perm := g.permScratch()
 	for k := 0; k < half; k++ {
 		for i := range perm {
 			perm[i] = int32(i)
@@ -106,7 +118,7 @@ func (g *Graph) FillRingPlusRandom(r *rng.Stream) {
 		g.SetPort(i, 1, int32((i-1+g.n)%g.n))
 	}
 	half := g.d / 2
-	perm := make([]int32, g.n)
+	perm := g.permScratch()
 	for k := 1; k < half; k++ {
 		for i := range perm {
 			perm[i] = int32(i)

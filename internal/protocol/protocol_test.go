@@ -253,9 +253,15 @@ func TestIDAStorageOverhead(t *testing.T) {
 	if total >= replicated/2 {
 		t.Fatalf("IDA stored %d bytes; replication would be %d — expected large saving", total, replicated)
 	}
-	wantApprox := invited * ((len(data) + 7) / 8)
-	if total != wantApprox {
-		t.Fatalf("IDA stored %d bytes, want %d", total, wantApprox)
+	// Each member holds exactly one ceil(L/K) piece; the roster may be
+	// smaller than the invite count (the leader's sample window can hold
+	// fewer distinct sources) but must allow reconstruction (≥ K pieces).
+	pieceSize := (len(data) + 7) / 8
+	if total%pieceSize != 0 {
+		t.Fatalf("IDA stored %d bytes, not a multiple of the %d-byte piece size", total, pieceSize)
+	}
+	if pieces := total / pieceSize; pieces < 8 || pieces > invited {
+		t.Fatalf("IDA stored %d pieces, want between K=8 and invited=%d", pieces, invited)
 	}
 }
 

@@ -48,14 +48,22 @@ func New(seed uint64) *Stream {
 // the same stream. This is the mechanism that makes parallel simulation
 // deterministic.
 func Derive(seed, id uint64) *Stream {
+	r := &Stream{}
+	r.ReseedDerived(seed, id)
+	return r
+}
+
+// ReseedDerived reinitialises r in place to the exact stream Derive(seed,
+// id) would return, without allocating. The simulation engine uses it to
+// recycle a slot's Stream object when churn installs a new occupant, so
+// heavy-churn rounds stay allocation-free.
+func (r *Stream) ReseedDerived(seed, id uint64) {
 	// Mix id into the seed with one splitmix step so that (seed, id) and
 	// (seed, id+1) land far apart in seed space.
 	st := seed
 	_ = splitMix64(&st)
 	st ^= 0x9e3779b97f4a7c15 * (id + 0x632be59bd9b4e019)
-	r := &Stream{}
 	r.Reseed(st)
-	return r
 }
 
 // Reseed reinitialises the stream from seed.

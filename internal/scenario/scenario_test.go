@@ -30,19 +30,19 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 
 func TestParseSpecRejectsBadInput(t *testing.T) {
 	cases := map[string]string{
-		"unknown field":   `{"name":"x","n":64,"phases":[{"name":"p","rounds":5}],"bogus":1}`,
-		"tiny n":          `{"name":"x","n":4,"phases":[{"name":"p","rounds":5}]}`,
-		"no phases":       `{"name":"x","n":64,"phases":[]}`,
-		"zero rounds":     `{"name":"x","n":64,"phases":[{"name":"p","rounds":0}]}`,
-		"drop too high":   `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"fault":{"drop":1.5}}]}`,
-		"negative rate":   `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"load":{"storeRate":-1}}]}`,
-		"odd degree":      `{"name":"x","n":64,"degree":7,"phases":[{"name":"p","rounds":5}]}`,
-		"bad strategy":    `{"name":"x","n":64,"strategy":"chaotic","phases":[{"name":"p","rounds":5}]}`,
-		"negative churn":  `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"churn":{"fixed":-2}}]}`,
-		"negative delay":  `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"fault":{"delayProb":0.5,"maxDelay":-1}}]}`,
-		"negative delta":  `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"churn":{"rate":0.5,"delta":-0.9}}]}`,
-		"overwide burst":  `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"churn":{"burstPeriod":4,"burstWidth":10,"burstCount":8}}]}`,
-		"malformed json":  `{"name":`,
+		"unknown field":  `{"name":"x","n":64,"phases":[{"name":"p","rounds":5}],"bogus":1}`,
+		"tiny n":         `{"name":"x","n":4,"phases":[{"name":"p","rounds":5}]}`,
+		"no phases":      `{"name":"x","n":64,"phases":[]}`,
+		"zero rounds":    `{"name":"x","n":64,"phases":[{"name":"p","rounds":0}]}`,
+		"drop too high":  `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"fault":{"drop":1.5}}]}`,
+		"negative rate":  `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"load":{"storeRate":-1}}]}`,
+		"odd degree":     `{"name":"x","n":64,"degree":7,"phases":[{"name":"p","rounds":5}]}`,
+		"bad strategy":   `{"name":"x","n":64,"strategy":"chaotic","phases":[{"name":"p","rounds":5}]}`,
+		"negative churn": `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"churn":{"fixed":-2}}]}`,
+		"negative delay": `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"fault":{"delayProb":0.5,"maxDelay":-1}}]}`,
+		"negative delta": `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"churn":{"rate":0.5,"delta":-0.9}}]}`,
+		"overwide burst": `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"churn":{"burstPeriod":4,"burstWidth":10,"burstCount":8}}]}`,
+		"malformed json": `{"name":`,
 	}
 	for label, in := range cases {
 		if _, err := ParseSpec([]byte(in)); err == nil {

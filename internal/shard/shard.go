@@ -1,0 +1,71 @@
+// Package shard provides the fixed slot-sharding helpers shared by the
+// engine's message exchange (internal/simnet) and the walk soup's token
+// exchange (internal/walks). Both move per-slot data with the same
+// two-phase discipline: scatter by source shard, gather by destination
+// shard, merging source shards in fixed index order.
+//
+// The shard count is a constant — NOT GOMAXPROCS — so that scatter output
+// and gather merge order are identical on every machine and at every
+// worker count. That constant order is what lets the engine deliver
+// canonically ordered inboxes without sorting: determinism is structural,
+// not re-established after the fact.
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Count is the fixed number of shards. 64 comfortably exceeds the core
+// counts we target while keeping per-shard buffer overhead negligible;
+// slices of per-shard state stay a few cache lines long.
+const Count = 64
+
+// Of maps a slot in [0, n) to its shard, exactly consistent with Bounds:
+// slot s belongs to the unique shard sh with Bounds(sh, n) containing s.
+// (The naive slot*Count/n disagrees with the Bounds partition for some
+// (slot, n); this is the proper inverse: the largest sh with
+// sh*n/Count <= slot.)
+func Of(slot, n int) int {
+	return (Count*(slot+1) - 1) / n
+}
+
+// Bounds returns the slot range [lo, hi) owned by shard sh. Shards may be
+// empty when n < Count.
+func Bounds(sh, n int) (lo, hi int) {
+	return sh * n / Count, (sh + 1) * n / Count
+}
+
+// Run invokes fn(sh) exactly once for every shard in [0, Count), spread
+// over the given number of worker goroutines claiming shards from a shared
+// cursor. workers <= 1 runs inline on the caller's goroutine with zero
+// allocation — the fast path the steady-state allocation budget is
+// measured against. fn must be safe to call concurrently for distinct
+// shards.
+func Run(workers int, fn func(sh int)) {
+	if workers <= 1 {
+		for sh := 0; sh < Count; sh++ {
+			fn(sh)
+		}
+		return
+	}
+	if workers > Count {
+		workers = Count
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				sh := int(cursor.Add(1) - 1)
+				if sh >= Count {
+					return
+				}
+				fn(sh)
+			}
+		}()
+	}
+	wg.Wait()
+}

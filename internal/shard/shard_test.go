@@ -1,0 +1,36 @@
+package shard
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestOfBoundsConsistency(t *testing.T) {
+	for _, n := range []int{3, 10, 63, 64, 65, 1000, 4096, 65536} {
+		covered := 0
+		for sh := 0; sh < Count; sh++ {
+			lo, hi := Bounds(sh, n)
+			for s := lo; s < hi; s++ {
+				if got := Of(s, n); got != sh {
+					t.Fatalf("n=%d: Of(%d) = %d but Bounds(%d) = [%d,%d)", n, s, got, sh, lo, hi)
+				}
+			}
+			covered += hi - lo
+		}
+		if covered != n {
+			t.Fatalf("n=%d: bounds cover %d slots", n, covered)
+		}
+	}
+}
+
+func TestRunVisitsEveryShardOnce(t *testing.T) {
+	for _, w := range []int{0, 1, 3, Count, Count + 10} {
+		var visits [Count]atomic.Int32
+		Run(w, func(sh int) { visits[sh].Add(1) })
+		for sh := range visits {
+			if got := visits[sh].Load(); got != 1 {
+				t.Fatalf("workers=%d: shard %d visited %d times", w, sh, got)
+			}
+		}
+	}
+}

@@ -85,26 +85,11 @@ func (e *Engine) SetFault(f FaultModel) { e.fault = f }
 // Fault returns the current fault model (nil if none).
 func (e *Engine) Fault() FaultModel { return e.fault }
 
-// applyFault decides m's fate. It returns deliver=false if the message was
-// consumed (dropped or queued for delayed delivery).
-func (e *Engine) applyFault(m *Msg) (deliver bool) {
-	rnd := rng.Hash(e.faultSeed, uint64(e.round), uint64(m.From), uint64(m.seq))
-	drop, delay := e.fault.Fate(e.round, m, rnd)
-	if drop {
-		e.metrics.MsgsFaultDropped++
-		return false
-	}
-	if delay > 0 {
-		e.metrics.MsgsDelayed++
-		e.delayed = append(e.delayed, delayedMsg{deliverAt: e.round + 1 + delay, m: *m})
-		return false
-	}
-	return true
-}
-
 // deliverDelayed moves fault-delayed messages whose time has come into the
-// round's inbox. Targets that have since been churned out drop the message,
-// the same failure mode as normal routing.
+// round's inbox, inserting each at its canonical sort position (fresh
+// messages arrive pre-ordered; only this path pays for an insertion).
+// Targets that have since been churned out drop the message, the same
+// failure mode as normal routing.
 func (e *Engine) deliverDelayed(round int) {
 	if len(e.delayed) == 0 {
 		return
@@ -115,12 +100,12 @@ func (e *Engine) deliverDelayed(round int) {
 			kept = append(kept, d)
 			continue
 		}
-		s, ok := e.slotOf[d.m.To]
+		s, ok := e.slotOf(d.m.To)
 		if !ok {
 			e.metrics.MsgsDropped++
 			continue
 		}
-		e.inbox[s] = append(e.inbox[s], d.m)
+		e.insertCanonical(s, d.m)
 		e.metrics.MsgsDelivered++
 	}
 	e.delayed = kept

@@ -21,23 +21,36 @@
 // Determinism: a run is a pure function of (adversary seed, protocol seed,
 // parameters) regardless of GOMAXPROCS. Node handlers execute in parallel
 // but draw randomness only from per-node streams derived from the protocol
-// seed and the node id, and inboxes are canonically sorted before delivery.
+// seed and the node id, and inbox order is canonical *by construction*:
+// handlers and routing both run over a fixed number of slot shards
+// (internal/shard), messages carry their sender's slot, and the gather
+// phase merges source shards in fixed index order, so every inbox arrives
+// sorted by (send round, sender slot, per-sender sequence) without any
+// sorting. See DESIGN.md §6 for the engine internals.
 package simnet
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"dynp2p/internal/churn"
 	"dynp2p/internal/expander"
 	"dynp2p/internal/graph"
 	"dynp2p/internal/rng"
+	"dynp2p/internal/shard"
 )
 
 // NodeID identifies a (possibly departed) node. IDs are never reused; 0 is
 // invalid.
 type NodeID uint64
+
+// MaxPayloadLen bounds len(Msg.IDs) and len(Msg.Blob): the modelled wire
+// format carries each with a 16-bit length field (see Msg.Bits), so a
+// longer payload cannot be expressed on the wire. SendMsg enforces it.
+// The paper's algorithms stay far below: committee rosters and id lists
+// are O(log n), blobs are item payloads or IDA pieces.
+const MaxPayloadLen = 65535
 
 // Msg is an id-addressed protocol message. Protocols multiplex on Kind.
 // The fixed fields cover every message of the paper's algorithms: walk
@@ -50,13 +63,15 @@ type Msg struct {
 	Item uint64   // item key (or unused)
 	Aux  uint64   // auxiliary value (round numbers, piece indices, ...)
 	Aux2 uint64   // second auxiliary (e.g. the searcher id a reply routes to)
-	IDs  []NodeID // id-list payload (committee rosters etc.); may be nil
-	Blob []byte   // data payload (item copies, IDA pieces); may be nil
+	IDs  []NodeID // id-list payload (committee rosters etc.); ≤ MaxPayloadLen, may be nil
+	Blob []byte   // data payload (item copies, IDA pieces); ≤ MaxPayloadLen, may be nil
 
-	// (sentRound, seq) is unique per sender, which gives inboxes a total
-	// canonical order even when fault-delayed messages from an earlier
-	// round land beside fresh ones.
+	// (sentRound, srcSlot, seq) is unique per message and is the canonical
+	// inbox order. Fresh messages arrive already ordered (the sharded
+	// exchange merges sender slots in fixed order); fault-delayed messages
+	// are inserted at their sort position when they finally land.
 	sentRound int32
+	srcSlot   int32  // sender's slot at send time
 	seq       uint32 // per-sender per-round sequence
 }
 
@@ -66,6 +81,8 @@ type Msg struct {
 func (m *Msg) Bits() int {
 	// from + to + kind + item + aux + aux2 = 64+64+8+64+64+64, plus 64 per
 	// id and 8 per blob byte, each with a 16-bit length field when present.
+	// SendMsg bounds both lengths to MaxPayloadLen so the 16-bit fields
+	// cannot be overrun.
 	b := 328
 	if len(m.IDs) > 0 {
 		b += 16 + 64*len(m.IDs)
@@ -74,6 +91,18 @@ func (m *Msg) Bits() int {
 		b += 16 + 8*len(m.Blob)
 	}
 	return b
+}
+
+// msgBefore reports whether a precedes b in the canonical inbox order
+// (sentRound, srcSlot, seq).
+func msgBefore(a, b *Msg) bool {
+	if a.sentRound != b.sentRound {
+		return a.sentRound < b.sentRound
+	}
+	if a.srcSlot != b.srcSlot {
+		return a.srcSlot < b.srcSlot
+	}
+	return a.seq < b.seq
 }
 
 // Handler is a node-level protocol. One Handler instance serves the whole
@@ -88,7 +117,9 @@ type Handler interface {
 	// Protocols must use it only for bookkeeping/metrics: real departed
 	// nodes say no goodbye.
 	OnLeave(e *Engine, slot int, id NodeID, round int)
-	// HandleRound runs one round of the protocol for one live node.
+	// HandleRound runs one round of the protocol for one live node. The
+	// Ctx (and its Inbox) is only valid for the duration of the call; the
+	// engine reuses it for the next node.
 	HandleRound(ctx *Ctx)
 }
 
@@ -129,43 +160,71 @@ type Metrics struct {
 	MaxNodeBitsRound int64
 }
 
+// routedRef identifies a message staged for delivery: the destination slot
+// it resolved to, plus its index in the source shard's out buffer. An
+// 8-byte reference rides the exchange instead of a ~112-byte Msg copy; the
+// gather phase copies each message exactly once, straight into its inbox.
+type routedRef struct {
+	slot int32  // destination slot
+	idx  uint32 // index into the source shard's out buffer
+}
+
+// routeShard is the per-source-shard staging area of the message exchange:
+// handler output, per-destination-shard transfer buffers, fault-delayed
+// messages, and metric tallies. All buffers are reused across rounds. The
+// struct is sized to an exact multiple of the cache line (asserted by
+// TestRouteShardCacheAligned), so workers filling adjacent shards never
+// false-share — the same discipline the engine's original per-worker
+// buffers used.
+type routeShard struct {
+	out     []Msg         // handler output, canonical (slot, seq) order
+	xfer    [][]routedRef // [shard.Count] refs to messages bound for each destination shard
+	delayed []delayedMsg  // fault-delayed messages from this shard, canonical order
+	ctx     *Ctx          // reusable handler context for this shard's slots
+
+	bits         int64 // handler bits sent by this shard's slots this round
+	maxBits      int64 // max per-node bits in this shard this round
+	sent         int64
+	dropped      int64
+	faultDropped int64
+	delayedCnt   int64
+}
+
 // Engine is the simulator. Create with New, drive with RunRound.
 type Engine struct {
 	cfg  Config
 	topo *expander.Dynamic
 	adv  *churn.Adversary
 
-	ids       []NodeID         // slot -> occupant id
-	slotOf    map[NodeID]int32 // live ids only
-	joinRound []int32          // slot -> round the occupant joined
-	nodeRng   []*rng.Stream    // slot -> occupant's random stream
+	ids       []NodeID // slot -> occupant id
+	joinRound []int32  // slot -> round the occupant joined
+	nodeRng   []*rng.Stream
 	nextID    NodeID
+
+	// slotIndex maps id -> occupied slot, or -1 once the id has departed.
+	// Ids are dense, monotonically assigned, and never reused, so a flat
+	// array replaces the hash map the hot routing path used to probe: one
+	// bounds check and one load per resolution. It grows geometrically
+	// with the id space (4 bytes per id ever created — fine for
+	// simulation lifetimes).
+	slotIndex []int32
 
 	inbox     [][]Msg // slot -> messages to deliver this round
 	nextInbox [][]Msg // slot -> messages accumulated for next round
 
 	fault     FaultModel   // nil = reliable links
 	faultSeed uint64       // derived from the adversary seed
-	delayed   []delayedMsg // fault-delayed messages awaiting delivery
+	delayed   []delayedMsg // fault-delayed messages, canonical order
 
 	churned []int // slots replaced in the current round
 
 	hooks   []RoundHook
 	metrics Metrics
 
-	workers   int
-	perWorker []workerOut
-
-	// bitsThisRound is per-slot bits sent in the current round, used for
-	// the per-node scalability audit.
-	bitsThisRound []int64
+	workers  int
+	shardOut []routeShard // [shard.Count] scatter/gather staging
 
 	round int
-}
-
-type workerOut struct {
-	msgs []Msg
-	_    [48]byte // pad to avoid false sharing between workers
 }
 
 // New builds an engine and populates the initial n nodes (handler.OnJoin is
@@ -193,18 +252,21 @@ func New(cfg Config) *Engine {
 		topo: expander.New(expander.Config{
 			N: cfg.N, Degree: cfg.Degree, Mode: cfg.EdgeMode, Period: max(cfg.EdgePeriod, 1),
 		}, cfg.AdversarySeed),
-		adv:           churn.NewAdversary(cfg.N, cfg.AdversarySeed, cfg.Strategy, cfg.Law),
-		ids:           make([]NodeID, cfg.N),
-		slotOf:        make(map[NodeID]int32, cfg.N*2),
-		joinRound:     make([]int32, cfg.N),
-		nodeRng:       make([]*rng.Stream, cfg.N),
-		inbox:         make([][]Msg, cfg.N),
-		nextInbox:     make([][]Msg, cfg.N),
-		bitsThisRound: make([]int64, cfg.N),
-		fault:         cfg.Fault,
-		faultSeed:     rng.Hash(cfg.AdversarySeed, 0xfa017),
-		workers:       workers,
-		perWorker:     make([]workerOut, workers),
+		adv:       churn.NewAdversary(cfg.N, cfg.AdversarySeed, cfg.Strategy, cfg.Law),
+		ids:       make([]NodeID, cfg.N),
+		slotIndex: newSlotIndex(2*cfg.N + 1),
+		joinRound: make([]int32, cfg.N),
+		nodeRng:   make([]*rng.Stream, cfg.N),
+		inbox:     make([][]Msg, cfg.N),
+		nextInbox: make([][]Msg, cfg.N),
+		fault:     cfg.Fault,
+		faultSeed: rng.Hash(cfg.AdversarySeed, 0xfa017),
+		workers:   workers,
+		shardOut:  make([]routeShard, shard.Count),
+	}
+	for sh := range e.shardOut {
+		e.shardOut[sh].xfer = make([][]routedRef, shard.Count)
+		e.shardOut[sh].ctx = &Ctx{}
 	}
 	e.nextID = 1
 	for s := 0; s < cfg.N; s++ {
@@ -213,18 +275,38 @@ func New(cfg Config) *Engine {
 	return e
 }
 
+// newSlotIndex returns an id->slot table of the given length with every
+// entry marked departed.
+func newSlotIndex(n int) []int32 {
+	t := make([]int32, n)
+	for i := range t {
+		t[i] = -1
+	}
+	return t
+}
+
 // placeNewNode installs a fresh identity in slot s at the given round.
 func (e *Engine) placeNewNode(s, round int) NodeID {
-	old := e.ids[s]
-	if old != 0 {
-		delete(e.slotOf, old)
+	if old := e.ids[s]; old != 0 {
+		e.slotIndex[old] = -1
 	}
 	id := e.nextID
 	e.nextID++
+	if int(id) >= len(e.slotIndex) {
+		grown := newSlotIndex(max(2*len(e.slotIndex), int(id)+1))
+		copy(grown, e.slotIndex)
+		e.slotIndex = grown
+	}
 	e.ids[s] = id
-	e.slotOf[id] = int32(s)
+	e.slotIndex[id] = int32(s)
 	e.joinRound[s] = int32(round)
-	e.nodeRng[s] = rng.Derive(e.cfg.ProtocolSeed, uint64(id))
+	if e.nodeRng[s] == nil {
+		e.nodeRng[s] = rng.Derive(e.cfg.ProtocolSeed, uint64(id))
+	} else {
+		// Recycle the slot's Stream object: same derived sequence as a
+		// fresh Derive, no allocation on the churn path.
+		e.nodeRng[s].ReseedDerived(e.cfg.ProtocolSeed, uint64(id))
+	}
 	return id
 }
 
@@ -246,15 +328,24 @@ func (e *Engine) Graph() *graph.Graph { return e.topo.Graph() }
 // IDAt returns the id occupying slot s.
 func (e *Engine) IDAt(s int) NodeID { return e.ids[s] }
 
+// slotOf resolves a live id to its slot via the dense table.
+func (e *Engine) slotOf(id NodeID) (int32, bool) {
+	if uint64(id) >= uint64(len(e.slotIndex)) {
+		return -1, false
+	}
+	s := e.slotIndex[id]
+	return s, s >= 0
+}
+
 // SlotOf returns the slot of a live id, or (-1, false) if it has departed.
 func (e *Engine) SlotOf(id NodeID) (int, bool) {
-	s, ok := e.slotOf[id]
+	s, ok := e.slotOf(id)
 	return int(s), ok
 }
 
 // IsLive reports whether id is currently in the network.
 func (e *Engine) IsLive(id NodeID) bool {
-	_, ok := e.slotOf[id]
+	_, ok := e.slotOf(id)
 	return ok
 }
 
@@ -279,7 +370,9 @@ func (e *Engine) AddHook(h RoundHook) { e.hooks = append(e.hooks, h) }
 // Metrics returns a snapshot of the run counters.
 func (e *Engine) Metrics() Metrics { return e.metrics }
 
-// Ctx is the per-node view passed to Handler.HandleRound.
+// Ctx is the per-node view passed to Handler.HandleRound. It is reused
+// between nodes: neither the Ctx nor its Inbox may be retained after
+// HandleRound returns.
 type Ctx struct {
 	E     *Engine
 	Round int
@@ -300,9 +393,16 @@ func (c *Ctx) Send(to NodeID, kind uint8, item, aux uint64, ids []NodeID) {
 }
 
 // SendMsg queues m (with From and sequencing filled in by the engine).
+// Panics if a payload exceeds MaxPayloadLen: the modelled wire format
+// cannot express it, so sending one is a protocol bug.
 func (c *Ctx) SendMsg(m Msg) {
+	if len(m.IDs) > MaxPayloadLen || len(m.Blob) > MaxPayloadLen {
+		panic(fmt.Sprintf("simnet: payload exceeds MaxPayloadLen (%d ids, %d blob bytes)",
+			len(m.IDs), len(m.Blob)))
+	}
 	m.From = c.ID
 	m.sentRound = int32(c.Round)
+	m.srcSlot = int32(c.Slot)
 	m.seq = c.seq
 	c.seq++
 	c.bits += int64(m.Bits())
@@ -383,74 +483,116 @@ func (e *Engine) RunRound(h Handler) {
 	e.round++
 }
 
+// runHandlers runs HandleRound for every slot, workers claiming fixed slot
+// shards. Each shard appends its slots' outgoing messages to its own
+// buffer in (slot, seq) order, which is what makes the subsequent exchange
+// — and therefore every inbox — canonically ordered with no sorting.
 func (e *Engine) runHandlers(h Handler, round int) {
-	n := e.cfg.N
-	w := e.workers
-	for i := range e.perWorker {
-		e.perWorker[i].msgs = e.perWorker[i].msgs[:0]
-	}
-	for i := range e.bitsThisRound {
-		e.bitsThisRound[i] = 0
-	}
-	var wg sync.WaitGroup
-	for wi := 0; wi < w; wi++ {
-		lo := wi * n / w
-		hi := (wi + 1) * n / w
-		wg.Add(1)
-		go func(wi, lo, hi int) {
-			defer wg.Done()
-			out := &e.perWorker[wi].msgs
-			for s := lo; s < hi; s++ {
-				// Canonical inbox order regardless of routing order.
-				in := e.inbox[s]
-				sort.Slice(in, func(i, j int) bool {
-					if in[i].From != in[j].From {
-						return in[i].From < in[j].From
-					}
-					if in[i].sentRound != in[j].sentRound {
-						return in[i].sentRound < in[j].sentRound
-					}
-					return in[i].seq < in[j].seq
-				})
-				ctx := Ctx{
-					E: e, Round: round, Slot: s, ID: e.ids[s],
-					Rand: e.nodeRng[s], Inbox: in, out: out,
-				}
-				h.HandleRound(&ctx)
-				e.bitsThisRound[s] = ctx.bits
+	shard.Run(e.workers, func(sh int) {
+		rs := &e.shardOut[sh]
+		rs.out = rs.out[:0]
+		rs.bits, rs.maxBits = 0, 0
+		lo, hi := shard.Bounds(sh, e.cfg.N)
+		ctx := rs.ctx
+		for s := lo; s < hi; s++ {
+			*ctx = Ctx{
+				E: e, Round: round, Slot: s, ID: e.ids[s],
+				Rand: e.nodeRng[s], Inbox: e.inbox[s], out: &rs.out,
 			}
-		}(wi, lo, hi)
-	}
-	wg.Wait()
-	var maxBits int64
-	var totalBits int64
-	for _, b := range e.bitsThisRound {
-		totalBits += b
-		if b > maxBits {
-			maxBits = b
+			h.HandleRound(ctx)
+			rs.bits += ctx.bits
+			if ctx.bits > rs.maxBits {
+				rs.maxBits = ctx.bits
+			}
+		}
+	})
+	var total, maxBits int64
+	for sh := range e.shardOut {
+		total += e.shardOut[sh].bits
+		if e.shardOut[sh].maxBits > maxBits {
+			maxBits = e.shardOut[sh].maxBits
 		}
 	}
-	e.metrics.BitsSent += totalBits
+	e.metrics.BitsSent += total
 	if maxBits > e.metrics.MaxNodeBitsRound {
 		e.metrics.MaxNodeBitsRound = maxBits
 	}
 }
 
+// route moves this round's outgoing messages into next-round inboxes with
+// a two-phase sharded exchange. Scatter: workers walk source shards,
+// decide each message's fault fate (a pure hash of its identity), resolve
+// the destination id to a slot through the dense table, and stage the
+// message in the (source shard, destination shard) transfer buffer.
+// Gather: workers walk destination shards and merge source shards in fixed
+// index order, so each inbox receives messages ordered by (sender slot,
+// sequence) — the canonical order — regardless of worker count.
 func (e *Engine) route() {
-	for wi := range e.perWorker {
-		for _, m := range e.perWorker[wi].msgs {
-			e.metrics.MsgsSent++
-			if e.fault != nil && !e.applyFault(&m) {
-				continue
-			}
-			s, ok := e.slotOf[m.To]
-			if !ok {
-				e.metrics.MsgsDropped++
-				continue
-			}
-			e.nextInbox[s] = append(e.nextInbox[s], m)
+	n := e.cfg.N
+	shard.Run(e.workers, func(sh int) {
+		rs := &e.shardOut[sh]
+		for dsh := range rs.xfer {
+			rs.xfer[dsh] = rs.xfer[dsh][:0]
 		}
+		rs.delayed = rs.delayed[:0]
+		rs.sent, rs.dropped, rs.faultDropped, rs.delayedCnt = 0, 0, 0, 0
+		for i := range rs.out {
+			m := &rs.out[i]
+			rs.sent++
+			if e.fault != nil {
+				rnd := rng.Hash(e.faultSeed, uint64(e.round), uint64(m.From), uint64(m.seq))
+				drop, delay := e.fault.Fate(e.round, m, rnd)
+				if drop {
+					rs.faultDropped++
+					continue
+				}
+				if delay > 0 {
+					rs.delayedCnt++
+					rs.delayed = append(rs.delayed, delayedMsg{deliverAt: e.round + 1 + delay, m: *m})
+					continue
+				}
+			}
+			dst, ok := e.slotOf(m.To)
+			if !ok {
+				rs.dropped++
+				continue
+			}
+			dsh := shard.Of(int(dst), n)
+			rs.xfer[dsh] = append(rs.xfer[dsh], routedRef{slot: dst, idx: uint32(i)})
+		}
+	})
+	shard.Run(e.workers, func(dsh int) {
+		for ssh := 0; ssh < shard.Count; ssh++ {
+			src := e.shardOut[ssh].out
+			for _, ref := range e.shardOut[ssh].xfer[dsh] {
+				e.nextInbox[ref.slot] = append(e.nextInbox[ref.slot], src[ref.idx])
+			}
+		}
+	})
+	// Serial merge of tallies and fault-delayed messages, in fixed shard
+	// order: e.delayed stays sorted by the canonical (sentRound, srcSlot,
+	// seq) key across rounds because rounds are appended in increasing
+	// sentRound order and shards in increasing srcSlot order.
+	for sh := range e.shardOut {
+		rs := &e.shardOut[sh]
+		e.metrics.MsgsSent += rs.sent
+		e.metrics.MsgsDropped += rs.dropped
+		e.metrics.MsgsFaultDropped += rs.faultDropped
+		e.metrics.MsgsDelayed += rs.delayedCnt
+		e.delayed = append(e.delayed, rs.delayed...)
 	}
+}
+
+// insertCanonical places m into slot s's inbox at its canonical position
+// (binary search on the (sentRound, srcSlot, seq) key). Only the
+// fault-delay path pays for this; fresh messages arrive pre-ordered.
+func (e *Engine) insertCanonical(s int32, m Msg) {
+	in := e.inbox[s]
+	i := sort.Search(len(in), func(j int) bool { return msgBefore(&m, &in[j]) })
+	in = append(in, Msg{})
+	copy(in[i+1:], in[i:])
+	in[i] = m
+	e.inbox[s] = in
 }
 
 // Run advances the engine through rounds [current, current+rounds).

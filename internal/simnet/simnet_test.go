@@ -1,8 +1,11 @@
 package simnet
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"unsafe"
 
 	"dynp2p/internal/churn"
 	"dynp2p/internal/expander"
@@ -196,6 +199,81 @@ func TestDeterministicAcrossWorkerCounts(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestDeterminismUnderChurnAndFaults is the regression net for the
+// sort-free canonical inbox order: a 2048-node run under churn AND a
+// dropping/delaying fault model (so the delayed-message insertion path is
+// exercised) must produce bit-identical per-node delivery sequences and
+// metrics at every worker count. CI runs this test with -race to check
+// the parallel scatter/gather exchange on every push.
+func TestDeterminismUnderChurnAndFaults(t *testing.T) {
+	run := func(workers int) (map[NodeID][]NodeID, Metrics) {
+		cfg := testConfig(2048, churn.FixedLaw{Count: 64})
+		cfg.Workers = workers
+		cfg.Fault = DropDelayFaults{DropProb: 0.05, DelayProb: 0.2, MaxDelay: 3}
+		e := New(cfg)
+		h := &recordHandler{log: make(map[NodeID][]NodeID)}
+		e.Run(h, 12)
+		return h.log, e.Metrics()
+	}
+	logA, mA := run(1)
+	for _, w := range []int{3, runtime.GOMAXPROCS(0)} {
+		logB, mB := run(w)
+		if mA != mB {
+			t.Fatalf("workers=%d: metrics differ:\n%+v\n%+v", w, mA, mB)
+		}
+		if len(logA) != len(logB) {
+			t.Fatalf("workers=%d: receiver sets differ (%d vs %d)", w, len(logA), len(logB))
+		}
+		for id, seq := range logA {
+			o := logB[id]
+			if len(o) != len(seq) {
+				t.Fatalf("workers=%d node %d: inbox lengths differ (%d vs %d)", w, id, len(seq), len(o))
+			}
+			for i := range seq {
+				if seq[i] != o[i] {
+					t.Fatalf("workers=%d node %d: inbox order differs at %d", w, id, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteShardCacheAligned(t *testing.T) {
+	// Per-shard staging areas must be an exact multiple of the cache line
+	// so parallel workers filling adjacent shards never false-share.
+	if s := unsafe.Sizeof(routeShard{}); s%64 != 0 {
+		t.Fatalf("routeShard is %d bytes, want a multiple of 64", s)
+	}
+}
+
+func TestSendMsgPayloadBound(t *testing.T) {
+	var panicked, sent atomic.Bool
+	h := funcHandler(func(ctx *Ctx) {
+		if ctx.Slot != 0 || ctx.Round != 0 {
+			return
+		}
+		// The largest expressible payload must go through...
+		ctx.SendMsg(Msg{To: ctx.ID, Blob: make([]byte, MaxPayloadLen)})
+		sent.Store(true)
+		// ...and one byte more must be rejected: the 16-bit wire length
+		// field cannot express it.
+		defer func() {
+			if recover() != nil {
+				panicked.Store(true)
+			}
+		}()
+		ctx.SendMsg(Msg{To: ctx.ID, Blob: make([]byte, MaxPayloadLen+1)})
+	})
+	e := New(testConfig(10, churn.ZeroLaw{}))
+	e.RunRound(h)
+	if !sent.Load() {
+		t.Fatal("MaxPayloadLen-sized blob was rejected")
+	}
+	if !panicked.Load() {
+		t.Fatal("oversized blob did not panic")
 	}
 }
 

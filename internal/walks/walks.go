@@ -16,7 +16,8 @@
 //   - Each token's step is derived by hashing (seed, round, src, birth,
 //     serial), not by consuming a shared stream, so the simulation is
 //     bit-reproducible at any worker count.
-//   - The shard count is a constant, and the gather phase merges source
+//   - The shard count is a constant (internal/shard, also used by the
+//     engine's message exchange), and the gather phase merges source
 //     shards in fixed order, so bucket order is canonical: the forwarding
 //     cap — the paper's 2h·log n per-round scalability restriction —
 //     always applies to the same tokens no matter the parallelism.
@@ -24,17 +25,12 @@ package walks
 
 import (
 	"math"
+	"math/bits"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
+	"dynp2p/internal/shard"
 	"dynp2p/internal/simnet"
 )
-
-// shards is the fixed shard count of the token exchange. It is a constant
-// (not GOMAXPROCS) so that merge order — and therefore the simulation —
-// is independent of the machine's core count.
-const shards = 64
 
 // Token is one in-flight random walk.
 type Token struct {
@@ -120,8 +116,12 @@ type Soup struct {
 
 	// Exchange buffers: xfer[src][dst] holds tokens moving from a source
 	// in shard src to a destination in shard dst this round.
-	xfer  [][]([]taggedToken)  // [shards][shards]
-	deliv [][]([]taggedSample) // [shards][shards]
+	xfer  [][]([]taggedToken)  // [shard.Count][shard.Count]
+	deliv [][]([]taggedSample) // [shard.Count][shard.Count]
+
+	// tallies accumulates per-source-shard metric deltas during scatter;
+	// kept on the struct so steady-state rounds allocate nothing.
+	tallies [shard.Count]Metrics
 
 	workers int
 }
@@ -146,12 +146,12 @@ func NewSoup(e *simnet.Engine, p Params, workers int) *Soup {
 		buckets: make([][]Token, n),
 		samples: make([][]Sample, n),
 		workers: workers,
-		xfer:    make([][]([]taggedToken), shards),
-		deliv:   make([][]([]taggedSample), shards),
+		xfer:    make([][]([]taggedToken), shard.Count),
+		deliv:   make([][]([]taggedSample), shard.Count),
 	}
-	for i := 0; i < shards; i++ {
-		s.xfer[i] = make([][]taggedToken, shards)
-		s.deliv[i] = make([][]taggedSample, shards)
+	for i := 0; i < shard.Count; i++ {
+		s.xfer[i] = make([][]taggedToken, shard.Count)
+		s.deliv[i] = make([][]taggedSample, shard.Count)
 	}
 	return s
 }
@@ -179,10 +179,17 @@ func (s *Soup) TotalTokens() int {
 }
 
 // Inject starts count extra walks from the given slot this round (on top
-// of WalksPerRound). Used by experiments that trace a single batch.
-func (s *Soup) Inject(e *simnet.Engine, slot, count, round int) {
+// of WalksPerRound). Used by experiments that trace a single batch. The
+// per-(source, round) Serial is a uint16, so at most 65536 walks can leave
+// one slot in one round; Inject clamps to that bound (a wrapped serial
+// would make two tokens share their step-hash identity and walk in
+// lock-step) and returns the number actually injected.
+func (s *Soup) Inject(e *simnet.Engine, slot, count, round int) int {
 	id := e.IDAt(slot)
 	base := len(s.buckets[slot])
+	if limit := 1<<16 - base; count > limit {
+		count = max(limit, 0)
+	}
 	for k := 0; k < count; k++ {
 		s.buckets[slot] = append(s.buckets[slot], Token{
 			Src: id, Birth: int32(round), Serial: uint16(base + k),
@@ -190,6 +197,7 @@ func (s *Soup) Inject(e *simnet.Engine, slot, count, round int) {
 		})
 	}
 	s.m.Generated += int64(count)
+	return count
 }
 
 // stepHash derives the per-token per-round randomness. Mixing is
@@ -219,19 +227,26 @@ func (s *Soup) StepRound(e *simnet.Engine, round int) {
 		s.samples[i] = s.samples[i][:0]
 	}
 
-	// 3. Generate fresh walks at every live slot.
+	// 3. Generate fresh walks at every live slot. Like Inject, generation
+	// clamps at the uint16 serial bound: a bucket already holding 65536
+	// same-round tokens (huge injections, extreme ForwardCap backlogs)
+	// cannot mint wrapped serials that would walk in lock-step.
 	if s.p.WalksPerRound > 0 {
 		for slot := 0; slot < s.n; slot++ {
 			id := e.IDAt(slot)
 			base := len(s.buckets[slot])
-			for k := 0; k < s.p.WalksPerRound; k++ {
+			count := s.p.WalksPerRound
+			if limit := 1<<16 - base; count > limit {
+				count = max(limit, 0)
+			}
+			for k := 0; k < count; k++ {
 				s.buckets[slot] = append(s.buckets[slot], Token{
 					Src: id, Birth: int32(round), Serial: uint16(base + k),
 					Steps: uint16(s.p.WalkLength),
 				})
 			}
+			s.m.Generated += int64(count)
 		}
-		s.m.Generated += int64(s.n) * int64(s.p.WalksPerRound)
 	}
 
 	// 4. Move all tokens one step: scatter then gather.
@@ -239,122 +254,86 @@ func (s *Soup) StepRound(e *simnet.Engine, round int) {
 	s.gather()
 }
 
-// shardOf maps a slot to its shard.
-func (s *Soup) shardOf(slot int) int {
-	sh := slot * shards / s.n
-	if sh >= shards {
-		sh = shards - 1
-	}
-	return sh
-}
-
-// shardBounds returns the slot range [lo, hi) of a shard.
-func (s *Soup) shardBounds(sh int) (lo, hi int) {
-	return sh * s.n / shards, (sh + 1) * s.n / shards
-}
-
 func (s *Soup) scatter(e *simnet.Engine, round int) {
 	g := e.Graph()
 	d := uint64(g.Degree())
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	var tallies [shards]Metrics
-	for w := 0; w < s.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				sh := int(next.Add(1) - 1)
-				if sh >= shards {
-					return
+	shard.Run(s.workers, func(sh int) {
+		tally := &s.tallies[sh]
+		*tally = Metrics{}
+		for dsh := 0; dsh < shard.Count; dsh++ {
+			s.xfer[sh][dsh] = s.xfer[sh][dsh][:0]
+			s.deliv[sh][dsh] = s.deliv[sh][dsh][:0]
+		}
+		lo, hi := shard.Bounds(sh, s.n)
+		for slot := lo; slot < hi; slot++ {
+			bucket := s.buckets[slot]
+			budget := len(bucket)
+			if s.p.ForwardCap > 0 && budget > s.p.ForwardCap {
+				budget = s.p.ForwardCap
+				tally.Deferred += int64(len(bucket) - budget)
+			}
+			keep := bucket[:0]
+			for i := range bucket {
+				t := bucket[i]
+				if round-int(t.Birth) > s.p.Deadline {
+					tally.Overdue++
+					continue
 				}
-				tally := &tallies[sh]
-				for dsh := 0; dsh < shards; dsh++ {
-					s.xfer[sh][dsh] = s.xfer[sh][dsh][:0]
-					s.deliv[sh][dsh] = s.deliv[sh][dsh][:0]
+				if i >= budget {
+					// Over the forwarding budget: the token waits
+					// here until next round.
+					keep = append(keep, t)
+					continue
 				}
-				lo, hi := s.shardBounds(sh)
-				for slot := lo; slot < hi; slot++ {
-					bucket := s.buckets[slot]
-					budget := len(bucket)
-					if s.p.ForwardCap > 0 && budget > s.p.ForwardCap {
-						budget = s.p.ForwardCap
-						tally.Deferred += int64(len(bucket) - budget)
+				h := stepHash(s.seed, round, t)
+				dst := slot
+				// Lazy self-loops flip the TOP hash bit: the fastrange
+				// port pick below consumes high bits, so the coin must
+				// come off the same end and be shifted away.
+				if lazyStay := s.p.Lazy && h>>63 == 1; !lazyStay {
+					if s.p.Lazy {
+						h <<= 1
 					}
-					keep := bucket[:0]
-					for i := range bucket {
-						t := bucket[i]
-						if round-int(t.Birth) > s.p.Deadline {
-							tally.Overdue++
-							continue
-						}
-						if i >= budget {
-							// Over the forwarding budget: the token waits
-							// here until next round.
-							keep = append(keep, t)
-							continue
-						}
-						h := stepHash(s.seed, round, t)
-						dst := slot
-						if s.p.Lazy && h&1 == 1 {
-							// Lazy self-loop: a step that stays put.
-							h >>= 1
-						} else {
-							if s.p.Lazy {
-								h >>= 1
-							}
-							dst = int(g.Neighbor(slot, int(h%d)))
-						}
-						t.Steps--
-						tally.Moves++
-						dsh := s.shardOf(dst)
-						if t.Steps == 0 {
-							tally.Completed++
-							s.deliv[sh][dsh] = append(s.deliv[sh][dsh],
-								taggedSample{slot: int32(dst), s: Sample{Src: t.Src, Birth: t.Birth}})
-						} else {
-							s.xfer[sh][dsh] = append(s.xfer[sh][dsh],
-								taggedToken{slot: int32(dst), t: t})
-						}
-					}
-					s.buckets[slot] = keep
+					// Fastrange port pick: ⌊h·d/2^64⌋ is uniform over
+					// [0, d) without the hardware divide h%d costs in
+					// this, the hottest loop of the simulator.
+					port, _ := bits.Mul64(h, d)
+					dst = int(g.Neighbor(slot, int(port)))
+				}
+				t.Steps--
+				tally.Moves++
+				dsh := shard.Of(dst, s.n)
+				if t.Steps == 0 {
+					tally.Completed++
+					s.deliv[sh][dsh] = append(s.deliv[sh][dsh],
+						taggedSample{slot: int32(dst), s: Sample{Src: t.Src, Birth: t.Birth}})
+				} else {
+					s.xfer[sh][dsh] = append(s.xfer[sh][dsh],
+						taggedToken{slot: int32(dst), t: t})
 				}
 			}
-		}()
-	}
-	wg.Wait()
-	for sh := range tallies {
-		s.m.Overdue += tallies[sh].Overdue
-		s.m.Moves += tallies[sh].Moves
-		s.m.Completed += tallies[sh].Completed
-		s.m.Deferred += tallies[sh].Deferred
+			s.buckets[slot] = keep
+		}
+	})
+	for sh := range s.tallies {
+		s.m.Overdue += s.tallies[sh].Overdue
+		s.m.Moves += s.tallies[sh].Moves
+		s.m.Completed += s.tallies[sh].Completed
+		s.m.Deferred += s.tallies[sh].Deferred
 	}
 }
 
 func (s *Soup) gather() {
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < s.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				dsh := int(next.Add(1) - 1)
-				if dsh >= shards {
-					return
-				}
-				// Merge source shards in fixed order for canonical
-				// bucket ordering.
-				for ssh := 0; ssh < shards; ssh++ {
-					for _, tt := range s.xfer[ssh][dsh] {
-						s.buckets[tt.slot] = append(s.buckets[tt.slot], tt.t)
-					}
-					for _, ts := range s.deliv[ssh][dsh] {
-						s.samples[ts.slot] = append(s.samples[ts.slot], ts.s)
-					}
-				}
+	shard.Run(s.workers, func(dsh int) {
+		// Merge source shards in fixed order for canonical bucket
+		// ordering.
+		for ssh := 0; ssh < shard.Count; ssh++ {
+			for _, tt := range s.xfer[ssh][dsh] {
+				s.buckets[tt.slot] = append(s.buckets[tt.slot], tt.t)
 			}
-		}()
-	}
-	wg.Wait()
+			for _, ts := range s.deliv[ssh][dsh] {
+				s.samples[ts.slot] = append(s.samples[ts.slot], ts.s)
+			}
+		}
+	})
 }

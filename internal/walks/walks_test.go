@@ -264,6 +264,61 @@ func TestInjectCountsGenerated(t *testing.T) {
 	}
 }
 
+func TestLazyStepUsesAllPorts(t *testing.T) {
+	// Regression test for the fastrange port pick: with Lazy=true the coin
+	// and the port must come from disjoint hash bits, or half the ports
+	// are never taken. On a static topology, one-step walks injected at a
+	// slot must reach every distinct neighbour of that slot.
+	e := simnet.New(simnet.Config{
+		N: 64, Degree: 8, EdgeMode: expander.Static,
+		AdversarySeed: 1, ProtocolSeed: 2, Law: churn.ZeroLaw{},
+	})
+	s := NewSoup(e, Params{WalkLength: 1, Deadline: 4, Lazy: true}, 0)
+	e.AddHook(s)
+	s.Inject(e, 0, 4000, 0)
+	srcID := e.IDAt(0)
+	neighbors := map[int]bool{}
+	for _, w := range e.Graph().Neighbors(0) {
+		neighbors[int(w)] = false
+	}
+	e.RunRound(simnet.NopHandler{})
+	for slot := 0; slot < e.N(); slot++ {
+		for _, smp := range s.Samples(slot) {
+			if smp.Src != srcID {
+				continue
+			}
+			if _, ok := neighbors[slot]; !ok && slot != 0 {
+				t.Fatalf("walk landed at %d, not a neighbour of 0", slot)
+			}
+			neighbors[slot] = true
+		}
+	}
+	for slot, hit := range neighbors {
+		if !hit && slot != 0 {
+			t.Errorf("neighbour slot %d (a port of slot 0) never reached by 4000 one-step lazy walks", slot)
+		}
+	}
+}
+
+func TestInjectClampsSerialOverflow(t *testing.T) {
+	// The per-(source, round) Serial is a uint16: a slot can start at most
+	// 65536 walks in one round before serials would wrap and collide.
+	e := newEngine(32, churn.ZeroLaw{})
+	s := NewSoup(e, Params{WalkLength: 4, Deadline: 10}, 0)
+	if got := s.Inject(e, 0, 1<<16+500, 0); got != 1<<16 {
+		t.Fatalf("injected %d, want %d", got, 1<<16)
+	}
+	if got := s.Inject(e, 0, 10, 0); got != 0 {
+		t.Fatalf("over-full slot injected %d more, want 0", got)
+	}
+	if g := s.Metrics().Generated; g != 1<<16 {
+		t.Fatalf("generated = %d, want %d", g, 1<<16)
+	}
+	if got := s.Inject(e, 1, 10, 0); got != 10 {
+		t.Fatalf("fresh slot injected %d, want 10", got)
+	}
+}
+
 func TestNewSoupValidation(t *testing.T) {
 	e := newEngine(32, churn.ZeroLaw{})
 	defer func() {

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# scripts/bench.sh [-short] — run the round-loop micro-benchmarks
+# (internal/bench) and write BENCH_roundloop.json with ns/round,
+# allocs/round, and token-moves/s per benchmark.
+#
+# Exits non-zero if the steady-state engine paths (RouteOnly, SoupOnly)
+# allocate more than MAX_STEADY_ALLOCS per round at the n=4096 reference
+# size: those paths are required to stay (near-)allocation-free, and this
+# is the committed threshold CI enforces. FullRound includes
+# protocol-level payload allocation and is recorded but not gated.
+#
+# The budget is not literally zero, and is defined at the reference size
+# only: with tens of thousands of inboxes, buckets, and per-shard
+# exchange buffers, random per-round size maxima still force occasional
+# slice growth (a record-maximum process whose rate scales with the
+# number of buffers and decays like 1/round). The budget is three orders
+# of magnitude below the per-slot allocation regime it guards against
+# (pre-optimisation: ~8 allocs per slot per round, ~32k/round at n=4096).
+#
+# Env overrides: BENCHTIME (default 20x), MAX_STEADY_ALLOCS (default 256),
+# OUT (default BENCH_roundloop.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SHORT=""
+if [[ "${1:-}" == "-short" ]]; then
+  SHORT="-short"
+fi
+BENCHTIME="${BENCHTIME:-20x}"
+MAX_STEADY_ALLOCS="${MAX_STEADY_ALLOCS:-256}"
+OUT="${OUT:-BENCH_roundloop.json}"
+RAW="$(mktemp)"
+PREV="$(mktemp)"
+trap 'rm -f "$RAW" "$PREV"' EXIT
+# The committed file may carry hand-curated "baseline_pre_pr" and "notes"
+# blocks; preserve them across regeneration (jq is present on CI runners
+# and dev boxes; without it the raw regenerated file stands alone).
+HAVE_PREV=""
+if [[ -f "$OUT" ]]; then
+  cp "$OUT" "$PREV"
+  HAVE_PREV=1
+fi
+
+go test $SHORT -run '^$' -bench 'BenchmarkRouteOnly|BenchmarkSoupOnly|BenchmarkFullRound' \
+  -benchmem -benchtime "$BENCHTIME" ./internal/bench | tee "$RAW"
+
+awk -v go_version="$(go version | awk '{print $3}')" \
+    -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v gomaxprocs="$(nproc 2>/dev/null || echo 0)" \
+    -v max_allocs="$MAX_STEADY_ALLOCS" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark(RouteOnly|SoupOnly|FullRound)\// {
+  name = $1
+  sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
+  ns = allocs = bytes = moves = "null"
+  for (i = 2; i < NF; i++) {
+    if ($(i+1) == "ns/op") ns = $i
+    if ($(i+1) == "allocs/op") allocs = $i
+    if ($(i+1) == "B/op") bytes = $i
+    if ($(i+1) == "token-moves/s") moves = $i
+  }
+  rows[++n] = sprintf("    {\"name\": \"%s\", \"ns_per_round\": %s, \"allocs_per_round\": %s, \"bytes_per_round\": %s, \"token_moves_per_s\": %s}", name, ns, allocs, bytes, moves)
+  if (name ~ /^(RouteOnly|SoupOnly)\/n=4096$/ && allocs != "null" && allocs + 0 > max_allocs + 0) {
+    printf "FAIL: %s allocates %s/round, budget is %s\n", name, allocs, max_allocs > "/dev/stderr"
+    bad = 1
+  }
+}
+END {
+  if (n == 0) { print "FAIL: no benchmark results parsed" > "/dev/stderr"; exit 1 }
+  printf "{\n  \"generated\": \"%s\",\n  \"commit\": \"%s\",\n  \"go\": \"%s\",\n  \"cpu\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"max_steady_allocs\": %s,\n  \"benchmarks\": [\n", date, commit, go_version, cpu, gomaxprocs, max_allocs
+  for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+  printf "  ]\n}\n"
+  exit bad
+}' "$RAW" > "$OUT" || GATE=$?
+GATE="${GATE:-0}"
+
+if [[ -n "$HAVE_PREV" ]] && command -v jq >/dev/null 2>&1; then
+  if jq -s '.[1] + (.[0] | {baseline_pre_pr, notes} | with_entries(select(.value != null)))' \
+      "$PREV" "$OUT" > "$OUT.tmp" 2>/dev/null; then
+    mv "$OUT.tmp" "$OUT"
+  else
+    rm -f "$OUT.tmp"
+  fi
+fi
+
+echo "wrote $OUT"
+cat "$OUT"
+exit "$GATE"
