@@ -56,11 +56,23 @@ func BenchmarkRouteOnly(b *testing.B) {
 	}
 }
 
+// soupSizes returns the sizes BenchmarkSoupOnly runs at. The soup is the
+// round loop's dominant cost and the reason the n >= 2^20 scenario sizes
+// are in reach, so it alone also runs at n=262144 (~85M in-flight tokens,
+// a few GB of store+staging) when -short is not set — the scale point
+// that shows whether token-moves/s holds as the working set leaves cache.
+func soupSizes() []int {
+	if testing.Short() {
+		return []int{4096}
+	}
+	return []int{4096, 65536, 262144}
+}
+
 // BenchmarkSoupOnly measures one engine round whose only work is the
 // random-walk soup plus per-round topology re-randomisation: the token
 // scatter/gather exchange at the paper's default walk density.
 func BenchmarkSoupOnly(b *testing.B) {
-	for _, n := range sizes() {
+	for _, n := range soupSizes() {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			e := simnet.New(simnet.Config{
 				N: n, Degree: 8, EdgeMode: expander.Rerandomize,

@@ -5,7 +5,8 @@
 //   - BenchmarkSoupOnly   — walk-soup token exchange + topology re-randomise;
 //   - BenchmarkFullRound  — the complete dynp2p stack under churn.
 //
-// Each runs at n ∈ {4096, 65536} (-short drops the large size). The
+// Each runs at n ∈ {4096, 65536}, and SoupOnly additionally at n=262144
+// (-short drops everything above the 4096 reference size). The
 // scripts/bench.sh wrapper parses the output into BENCH_roundloop.json
 // (ns/round, allocs/round, token-moves/s) and enforces the committed
 // steady-state allocation budget; see DESIGN.md §6 for how to read it.

@@ -14,6 +14,8 @@
 package dht
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 	"sync"
 
@@ -172,7 +174,7 @@ func (h *Handler) Bootstrap(e *simnet.Engine) {
 		id := e.IDAt(s)
 		ring[s] = peer{id: id, pt: Point(uint64(id))}
 	}
-	sort.Slice(ring, func(i, j int) bool { return ring[i].pt < ring[j].pt })
+	slices.SortFunc(ring, func(a, b peer) int { return cmp.Compare(a.pt, b.pt) })
 	pos := make(map[simnet.NodeID]int, n)
 	for i, p := range ring {
 		pos[p.id] = i
@@ -289,7 +291,7 @@ func (h *Handler) RingHealth(e *simnet.Engine) float64 {
 	if len(ring) == 0 {
 		return 0
 	}
-	sort.Slice(ring, func(i, j int) bool { return ring[i].pt < ring[j].pt })
+	slices.SortFunc(ring, func(a, b peer) int { return cmp.Compare(a.pt, b.pt) })
 	pos := make(map[simnet.NodeID]int, len(ring))
 	for i, p := range ring {
 		pos[p.id] = i

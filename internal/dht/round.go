@@ -1,7 +1,8 @@
 package dht
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"dynp2p/internal/simnet"
 )
@@ -275,8 +276,8 @@ func (h *Handler) onSuccs(ctx *simnet.Ctx, st *state, m *simnet.Msg) {
 }
 
 func (h *Handler) sortSuccs(st *state) {
-	sort.Slice(st.succs, func(i, j int) bool {
-		return clockwise(st.pt, st.succs[i].pt) < clockwise(st.pt, st.succs[j].pt)
+	slices.SortFunc(st.succs, func(a, b peer) int {
+		return cmp.Compare(clockwise(st.pt, a.pt), clockwise(st.pt, b.pt))
 	})
 	out := st.succs[:0]
 	var last simnet.NodeID
@@ -333,7 +334,7 @@ func (h *Handler) replicate(ctx *simnet.Ctx, st *state) {
 	for k := range st.items {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	limit := len(st.succs)
 	if limit > 4 {
 		limit = 4

@@ -215,12 +215,9 @@ func E04ReceiptBounds(scale Scale) *Table {
 		total := 0
 		for r := 0; r < window; r++ {
 			e.RunRound(simnet.NopHandler{})
-			churned := make(map[int]bool)
-			for _, sl := range e.ChurnedThisRound() {
-				churned[sl] = true
-			}
+			justRun := e.Round() - 1
 			for slot := 0; slot < n; slot++ {
-				if churned[slot] {
+				if e.ReplacedInRound(slot, justRun) {
 					continue // fresh nodes are outside the Core
 				}
 				c := float64(len(s.Samples(slot)))

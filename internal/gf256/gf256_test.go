@@ -68,6 +68,51 @@ func TestExpGeneratesGroup(t *testing.T) {
 	}
 }
 
+// mulRef is the log/exp-table reference product, independent of the dense
+// product table that Mul and the slice kernels now share.
+func mulRef(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+func TestMulMatchesLogExpReference(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := Mul(byte(a), byte(b)), mulRef(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestMulAddSliceAllCoefficientsAndTails sweeps every coefficient and all
+// lengths around the 8-byte unroll boundary, so both the word-at-a-time
+// c==1 path and the unrolled table path are exercised with ragged tails.
+func TestMulAddSliceAllCoefficientsAndTails(t *testing.T) {
+	r := rng.New(7)
+	for c := 0; c < 256; c++ {
+		for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17, 33} {
+			src := make([]byte, n)
+			dst := make([]byte, n)
+			want := make([]byte, n)
+			r.Fill(src)
+			r.Fill(dst)
+			copy(want, dst)
+			for i := range want {
+				want[i] ^= mulRef(byte(c), src[i])
+			}
+			MulAddSlice(dst, src, byte(c))
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("MulAddSlice mismatch at %d (c=%d, n=%d)", i, c, n)
+				}
+			}
+		}
+	}
+}
+
 func TestMulAddSliceMatchesScalar(t *testing.T) {
 	r := rng.New(1)
 	for trial := 0; trial < 50; trial++ {
@@ -244,5 +289,17 @@ func BenchmarkMicroMulAddSlice(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MulAddSlice(dst, src, 0x53)
+	}
+}
+
+func BenchmarkMicroMulAddSliceXOR(b *testing.B) {
+	// The c == 1 word-at-a-time path (pivot rows, plain XOR accumulate).
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	rng.New(1).Fill(src)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(dst, src, 1)
 	}
 }

@@ -1,7 +1,8 @@
 package protocol
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"dynp2p/internal/ida"
 	"dynp2p/internal/simnet"
@@ -180,11 +181,11 @@ func (h *Handler) rankOf(m *membership) int {
 	for id, c := range m.counts {
 		entries = append(entries, entry{id, c})
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].count != entries[j].count {
-			return entries[i].count > entries[j].count
+	slices.SortFunc(entries, func(a, b entry) int {
+		if a.count != b.count {
+			return cmp.Compare(b.count, a.count)
 		}
-		return entries[i].id < entries[j].id
+		return cmp.Compare(a.id, b.id)
 	})
 	for i, e := range entries {
 		if e.id == m.owner {
@@ -287,7 +288,7 @@ func (h *Handler) reconstruct(m *membership) ([]byte, bool) {
 	for i := range m.gathered {
 		idxs = append(idxs, i)
 	}
-	sort.Ints(idxs)
+	slices.Sort(idxs)
 	pieces := make([]ida.Piece, 0, len(idxs))
 	for _, i := range idxs {
 		pieces = append(pieces, ida.Piece{Index: i, Data: m.gathered[i]})

@@ -1,7 +1,7 @@
 package protocol
 
 import (
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -254,7 +254,7 @@ func (st *nodeState) sortedComIDs() []uint64 {
 	for com := range st.memberships {
 		ids = append(ids, com)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 
@@ -264,7 +264,7 @@ func (st *nodeState) sortedSearchKeys() []uint64 {
 	for k := range st.searches {
 		ids = append(ids, k)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 
@@ -274,7 +274,7 @@ func (st *nodeState) sortedLMKeys() []uint64 {
 	for k := range st.searchLM {
 		ids = append(ids, k)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 

@@ -2,7 +2,7 @@ package protocol
 
 import (
 	"bytes"
-	"sort"
+	"slices"
 
 	"dynp2p/internal/ida"
 	"dynp2p/internal/simnet"
@@ -312,5 +312,5 @@ func (h *Handler) tickSearches(ctx *simnet.Ctx, st *nodeState) {
 
 // sortIDs sorts a NodeID slice ascending (helper for tests).
 func sortIDs(ids []simnet.NodeID) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 }

@@ -14,7 +14,10 @@
 // function for it. Both are public-domain algorithms (Blackman & Vigna).
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // splitMix64 advances the SplitMix64 state and returns the next value.
 // It is used only for seeding and stream derivation.
@@ -121,7 +124,7 @@ func (r *Stream) Uint64n(n uint64) uint64 {
 	// Lemire: sample 128-bit product, reject the biased low region.
 	for {
 		v := r.Uint64()
-		hi, lo := mul64(v, n)
+		hi, lo := bits.Mul64(v, n)
 		if lo < n {
 			// threshold = -n mod n
 			thresh := (-n) % n
@@ -131,22 +134,6 @@ func (r *Stream) Uint64n(n uint64) uint64 {
 		}
 		return hi
 	}
-}
-
-// mul64 returns the 128-bit product of a and b as (hi, lo).
-func mul64(a, b uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	aLo, aHi := a&mask32, a>>32
-	bLo, bHi := b&mask32, b>>32
-	t := aLo * bLo
-	lo = t & mask32
-	c := t >> 32
-	t = aHi*bLo + c
-	tLo, tHi := t&mask32, t>>32
-	t = aLo*bHi + tLo
-	lo |= t << 32
-	hi = aHi*bHi + tHi + t>>32
-	return hi, lo
 }
 
 // Intn returns a uniform int in [0, n). n must be > 0.

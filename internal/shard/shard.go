@@ -30,6 +30,57 @@ func Of(slot, n int) int {
 	return (Count*(slot+1) - 1) / n
 }
 
+// Loc packs a slot's (shard, local index within the shard) pair into one
+// uint32: shard in the top bits, local index in the low LocalBits. Hot
+// exchange loops resolve a destination slot with a single table load
+// (LocTable) instead of a hardware divide (Of) plus a Bounds subtraction.
+const (
+	// LocalBits is the width of the local-index field; with 6 shard bits
+	// on top, slot counts up to Count<<LocalBits (≈ 4·10⁹) are addressable.
+	LocalBits = 26
+	localMask = 1<<LocalBits - 1
+)
+
+// LocTable returns the slot → packed (shard, local) location table for a
+// network of n slots: LocTable(n)[s] >> LocalBits is Of(s, n) and
+// LocTable(n)[s] & (1<<LocalBits - 1) is s - lo where lo, _ = Bounds(...).
+// Build once at setup; 4 bytes per slot.
+func LocTable(n int) []uint32 {
+	if n >= Count<<LocalBits {
+		panic("shard: n exceeds LocTable addressable range")
+	}
+	t := make([]uint32, n)
+	for sh := 0; sh < Count; sh++ {
+		lo, hi := Bounds(sh, n)
+		for s := lo; s < hi; s++ {
+			t[s] = uint32(sh)<<LocalBits | uint32(s-lo)
+		}
+	}
+	return t
+}
+
+// Loc unpacks a LocTable entry into (shard, local index).
+func Loc(loc uint32) (sh, local int) {
+	return int(loc >> LocalBits), int(loc & localMask)
+}
+
+// Offsets turns per-slot counts into the exclusive prefix-sum offset index
+// of a counting sort: off[0] = 0, off[i+1] = off[i] + counts[i]. It
+// requires len(off) == len(counts)+1 and returns the total. After pass 2
+// of the sort, element range [off[i], off[i+1]) holds bucket i.
+func Offsets(counts, off []int32) int32 {
+	if len(off) != len(counts)+1 {
+		panic("shard: Offsets requires len(off) == len(counts)+1")
+	}
+	var total int32
+	off[0] = 0
+	for i, c := range counts {
+		total += c
+		off[i+1] = total
+	}
+	return total
+}
+
 // Bounds returns the slot range [lo, hi) owned by shard sh. Shards may be
 // empty when n < Count.
 func Bounds(sh, n int) (lo, hi int) {

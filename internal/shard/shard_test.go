@@ -23,6 +23,44 @@ func TestOfBoundsConsistency(t *testing.T) {
 	}
 }
 
+func TestLocTableMatchesOfAndBounds(t *testing.T) {
+	for _, n := range []int{3, 10, 63, 64, 65, 1000, 4096, 65536} {
+		tab := LocTable(n)
+		if len(tab) != n {
+			t.Fatalf("n=%d: table length %d", n, len(tab))
+		}
+		for s := 0; s < n; s++ {
+			sh, local := Loc(tab[s])
+			if sh != Of(s, n) {
+				t.Fatalf("n=%d slot %d: table shard %d, Of %d", n, s, sh, Of(s, n))
+			}
+			lo, _ := Bounds(sh, n)
+			if local != s-lo {
+				t.Fatalf("n=%d slot %d: table local %d, want %d", n, s, local, s-lo)
+			}
+		}
+	}
+}
+
+func TestOffsets(t *testing.T) {
+	counts := []int32{3, 0, 2, 5, 0}
+	off := make([]int32, len(counts)+1)
+	if total := Offsets(counts, off); total != 10 {
+		t.Fatalf("total = %d, want 10", total)
+	}
+	want := []int32{0, 3, 3, 5, 10, 10}
+	for i := range want {
+		if off[i] != want[i] {
+			t.Fatalf("off = %v, want %v", off, want)
+		}
+	}
+	// Empty input: single zero offset.
+	var empty [1]int32
+	if total := Offsets(nil, empty[:]); total != 0 || empty[0] != 0 {
+		t.Fatalf("empty Offsets: total=%d off=%v", total, empty)
+	}
+}
+
 func TestRunVisitsEveryShardOnce(t *testing.T) {
 	for _, w := range []int{0, 1, 3, Count, Count + 10} {
 		var visits [Count]atomic.Int32

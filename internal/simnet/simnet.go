@@ -218,6 +218,11 @@ type Engine struct {
 
 	churned []int // slots replaced in the current round
 
+	// slotLoc is the slot → packed (shard, local) table (shard.LocTable):
+	// one load resolves a destination slot's shard on the routing hot path
+	// instead of a hardware divide per message.
+	slotLoc []uint32
+
 	hooks   []RoundHook
 	metrics Metrics
 
@@ -263,6 +268,7 @@ func New(cfg Config) *Engine {
 		faultSeed: rng.Hash(cfg.AdversarySeed, 0xfa017),
 		workers:   workers,
 		shardOut:  make([]routeShard, shard.Count),
+		slotLoc:   shard.LocTable(cfg.N),
 	}
 	for sh := range e.shardOut {
 		e.shardOut[sh].xfer = make([][]routedRef, shard.Count)
@@ -358,6 +364,19 @@ func (e *Engine) Age(s int) int { return e.round - int(e.joinRound[s]) }
 // ChurnedThisRound returns the slots replaced at the start of the current
 // round. The slice is owned by the engine; do not retain it.
 func (e *Engine) ChurnedThisRound() []int { return e.churned }
+
+// ReplacedInRound reports whether slot's occupant was churned in at the
+// start of the given round. This is the O(1) per-slot form of
+// ChurnedThisRound, for sharded round hooks (e.g. the walk soup's columnar
+// scatter) that fold churn handling into a parallel pass over slots and
+// cannot share an iteration over the churned list. The round is explicit
+// because hooks run before the engine's round counter advances while
+// between-rounds callers see it already incremented: pass the hook's round
+// argument, or Round()-1 after RunRound returns. Exact for the slot's
+// latest replacement (earlier occupancies are not recorded).
+func (e *Engine) ReplacedInRound(slot, round int) bool {
+	return round > 0 && e.joinRound[slot] == int32(round)
+}
 
 // NodeRand returns slot s's occupant random stream. Handlers should use
 // Ctx.Rand instead; hooks (e.g. the walk soup) may use this directly but
@@ -458,13 +477,14 @@ func (e *Engine) RunRound(h Handler) {
 	}
 
 	// Swap inboxes: what was accumulated last round is delivered now.
+	// One fused pass resets next-round inboxes and tallies deliveries.
 	e.inbox, e.nextInbox = e.nextInbox, e.inbox
-	for s := range e.nextInbox {
+	var delivered int64
+	for s := range e.inbox {
+		delivered += int64(len(e.inbox[s]))
 		e.nextInbox[s] = e.nextInbox[s][:0]
 	}
-	for s := range e.inbox {
-		e.metrics.MsgsDelivered += int64(len(e.inbox[s]))
-	}
+	e.metrics.MsgsDelivered += delivered
 	e.deliverDelayed(round)
 
 	// 3. Hooks (walk soup etc).
@@ -472,8 +492,11 @@ func (e *Engine) RunRound(h Handler) {
 		hook.StepRound(e, round)
 	}
 
-	// 4. Handlers, in parallel over slot shards.
-	if h != nil {
+	// 4. Handlers, in parallel over slot shards. NopHandler is the
+	// engine's own hooks-only no-op: it sends nothing and keeps no state,
+	// so the per-slot handler sweep and the routing exchange are skipped
+	// outright rather than executed vacuously.
+	if _, nop := h.(NopHandler); h != nil && !nop {
 		e.runHandlers(h, round)
 		// 5. Route: messages to live ids land in nextInbox; the rest drop.
 		e.route()
@@ -528,7 +551,6 @@ func (e *Engine) runHandlers(h Handler, round int) {
 // index order, so each inbox receives messages ordered by (sender slot,
 // sequence) — the canonical order — regardless of worker count.
 func (e *Engine) route() {
-	n := e.cfg.N
 	shard.Run(e.workers, func(sh int) {
 		rs := &e.shardOut[sh]
 		for dsh := range rs.xfer {
@@ -557,7 +579,7 @@ func (e *Engine) route() {
 				rs.dropped++
 				continue
 			}
-			dsh := shard.Of(int(dst), n)
+			dsh := e.slotLoc[dst] >> shard.LocalBits
 			rs.xfer[dsh] = append(rs.xfer[dsh], routedRef{slot: dst, idx: uint32(i)})
 		}
 	})

@@ -241,6 +241,60 @@ func TestDeterminismUnderChurnAndFaults(t *testing.T) {
 	}
 }
 
+// replacedRecorder snapshots ReplacedInRound for every slot from inside a
+// round hook, where sharded consumers (the walk soup) query it.
+type replacedRecorder struct {
+	flags [][]bool
+}
+
+func (r *replacedRecorder) StepRound(e *Engine, round int) {
+	f := make([]bool, e.N())
+	for s := range f {
+		f[s] = e.ReplacedInRound(s, round)
+	}
+	r.flags = append(r.flags, f)
+}
+
+func TestReplacedInRoundMatchesChurnedList(t *testing.T) {
+	e := New(testConfig(64, churn.FixedLaw{Count: 5}))
+	rec := &replacedRecorder{}
+	e.AddHook(rec)
+	churned := make([][]int, 0, 10)
+	for r := 0; r < 10; r++ {
+		e.RunRound(NopHandler{})
+		churned = append(churned, append([]int(nil), e.ChurnedThisRound()...))
+		// Between rounds the query must agree with the churned list when
+		// asked about the round that just ran (Round()-1).
+		for s := 0; s < e.N(); s++ {
+			want := false
+			for _, cs := range e.ChurnedThisRound() {
+				want = want || cs == s
+			}
+			if got := e.ReplacedInRound(s, e.Round()-1); got != want {
+				t.Fatalf("after round %d slot %d: ReplacedInRound(Round()-1) = %v, want %v", r, s, got, want)
+			}
+		}
+	}
+	for r := range churned {
+		want := make([]bool, e.N())
+		for _, s := range churned[r] {
+			want[s] = true
+		}
+		for s := range want {
+			if rec.flags[r][s] != want[s] {
+				t.Fatalf("round %d slot %d: ReplacedInRound = %v, churned list says %v",
+					r, s, rec.flags[r][s], want[s])
+			}
+		}
+	}
+	// Round 0 populates every slot but replaces none.
+	for s := 0; s < e.N(); s++ {
+		if rec.flags[0][s] {
+			t.Fatalf("round 0 slot %d reported as replaced", s)
+		}
+	}
+}
+
 func TestRouteShardCacheAligned(t *testing.T) {
 	// Per-shard staging areas must be an exact multiple of the cache line
 	// so parallel workers filling adjacent shards never false-share.

@@ -10,29 +10,39 @@
 //
 // Implementation notes (the HPC parts):
 //
-//   - Tokens are 16-byte values in per-slot buckets; a round moves every
-//     token one step with a two-phase sharded exchange (scatter by source
-//     shard, gather by destination shard) that runs on all cores.
+//   - Tokens live in a columnar store of packed 16-byte two-lane records
+//     (src|slot, birth|serial|steps). A round moves every token one step
+//     with a two-phase sharded exchange — scatter by source shard into
+//     per-(source, destination) staging, then a counting-sort gather.
+//     With a forwarding cap the gather materializes each shard's
+//     slot-major bucket array (per-slot offset index, canonical order);
+//     without one (the paper's default) the staged buffers themselves
+//     are the store, consumed next round in canonical source order. See
+//     store.go.
 //   - Each token's step is derived by hashing (seed, round, src, birth,
 //     serial), not by consuming a shared stream, so the simulation is
 //     bit-reproducible at any worker count.
 //   - The shard count is a constant (internal/shard, also used by the
-//     engine's message exchange), and the gather phase merges source
-//     shards in fixed order, so bucket order is canonical: the forwarding
-//     cap — the paper's 2h·log n per-round scalability restriction —
-//     always applies to the same tokens no matter the parallelism.
+//     engine's message exchange), the gather merges source shards in
+//     fixed order, and shard slot ranges are contiguous and ascending,
+//     so each slot's token order is canonical — deferred tokens first,
+//     then arrivals by (source slot, source order): the forwarding cap —
+//     the paper's 2h·log n per-round scalability restriction — always
+//     applies to the same tokens no matter the parallelism.
 package walks
 
 import (
 	"math"
-	"math/bits"
 	"runtime"
+	"sync"
 
 	"dynp2p/internal/shard"
 	"dynp2p/internal/simnet"
 )
 
-// Token is one in-flight random walk.
+// Token is one in-flight random walk. The store keeps tokens as columns
+// (store.go); this struct is the assembled view used by Inject,
+// AppendTokens, and the reference-model tests.
 type Token struct {
 	Src    simnet.NodeID // walk origin (its id at generation time)
 	Birth  int32         // round the walk started
@@ -93,35 +103,40 @@ type Metrics struct {
 	Deferred  int64 // token-rounds spent waiting behind the forward cap
 }
 
-// taggedToken and taggedSample ride the exchange with their destination.
-type taggedToken struct {
-	slot int32
-	t    Token
-}
-
-type taggedSample struct {
-	slot int32
-	s    Sample
+func (m *Metrics) add(o *Metrics) {
+	m.Generated += o.Generated
+	m.Completed += o.Completed
+	m.Died += o.Died
+	m.Overdue += o.Overdue
+	m.Moves += o.Moves
+	m.Deferred += o.Deferred
 }
 
 // Soup is the walk engine. It implements simnet.RoundHook; register it on
 // the engine and read Samples(slot) from protocol handlers.
 type Soup struct {
-	p       Params
-	n       int
-	seed    uint64
-	buckets [][]Token  // per slot, canonical order
-	samples [][]Sample // per slot, walks completed this round
-	m       Metrics
+	p    Params
+	n    int
+	seed uint64
+	m    Metrics
 
-	// Exchange buffers: xfer[src][dst] holds tokens moving from a source
-	// in shard src to a destination in shard dst this round.
-	xfer  [][]([]taggedToken)  // [shard.Count][shard.Count]
-	deliv [][]([]taggedSample) // [shard.Count][shard.Count]
+	// shards hold the columnar token store, the per-round sample store,
+	// and all exchange staging; slotLoc resolves a slot to its (shard,
+	// local index) with one load (shard.LocTable). rowLoc is the
+	// per-round composition of the adjacency with slotLoc (see store.go).
+	shards  []soupShard
+	slotLoc []uint32
+	rowLoc  []uint32
 
-	// tallies accumulates per-source-shard metric deltas during scatter;
-	// kept on the struct so steady-state rounds allocate nothing.
-	tallies [shard.Count]Metrics
+	// capped selects the store representation (see soupShard): the exact
+	// slot-major materialized store when a forwarding cap is set, the
+	// staging-is-the-store fast path when unlimited. parity selects which
+	// side of the double-buffered staging the current round writes.
+	// countsMu serializes the uncapped path's lazy per-slot count
+	// materialization so TokensAt stays safe to call concurrently.
+	capped   bool
+	parity   int
+	countsMu sync.Mutex
 
 	workers int
 }
@@ -143,15 +158,14 @@ func NewSoup(e *simnet.Engine, p Params, workers int) *Soup {
 		p:       p,
 		n:       n,
 		seed:    e.Config().ProtocolSeed,
-		buckets: make([][]Token, n),
-		samples: make([][]Sample, n),
+		shards:  make([]soupShard, shard.Count),
+		slotLoc: shard.LocTable(n),
+		rowLoc:  make([]uint32, n*e.Degree()),
+		capped:  p.ForwardCap > 0,
 		workers: workers,
-		xfer:    make([][]([]taggedToken), shard.Count),
-		deliv:   make([][]([]taggedSample), shard.Count),
 	}
-	for i := 0; i < shard.Count; i++ {
-		s.xfer[i] = make([][]taggedToken, shard.Count)
-		s.deliv[i] = make([][]taggedSample, shard.Count)
+	for i := range s.shards {
+		s.shards[i].init(i, n)
 	}
 	return s
 }
@@ -162,20 +176,61 @@ func (s *Soup) Params() Params { return s.p }
 // Metrics returns a snapshot of the counters.
 func (s *Soup) Metrics() Metrics { return s.m }
 
-// Samples returns the walks that completed at slot this round. Valid until
-// the next StepRound; do not retain.
-func (s *Soup) Samples(slot int) []Sample { return s.samples[slot] }
+// Samples returns the walks that completed at slot this round: a view into
+// the per-shard sample store, valid until the next StepRound; do not
+// retain or modify.
+func (s *Soup) Samples(slot int) []Sample {
+	sh, local := shard.Loc(s.slotLoc[slot])
+	ss := &s.shards[sh]
+	return ss.smp[ss.smpOff[local]:ss.smpOff[local+1]]
+}
 
 // TokensAt returns the number of in-flight tokens currently held at slot.
-func (s *Soup) TokensAt(slot int) int { return len(s.buckets[slot]) }
+// O(1) on the capped path (an offset-index difference); on the uncapped
+// path the per-slot counts materialize lazily from the staged store on
+// the first query after a round, then are O(1) too.
+func (s *Soup) TokensAt(slot int) int {
+	sh, local := shard.Loc(s.slotLoc[slot])
+	ss := &s.shards[sh]
+	if s.capped {
+		return int(ss.off[local+1] - ss.off[local])
+	}
+	s.materializeCounts(sh)
+	return int(ss.counts[local])
+}
 
-// TotalTokens returns the number of in-flight tokens network-wide.
+// TotalTokens returns the number of in-flight tokens network-wide. O(1)
+// in n: a sum over the per-shard store (or staging-buffer) lengths.
 func (s *Soup) TotalTokens() int {
 	t := 0
-	for _, b := range s.buckets {
-		t += len(b)
+	if s.capped {
+		for i := range s.shards {
+			t += len(s.shards[i].tok)
+		}
+		return t
+	}
+	in := s.inboxParity()
+	for i := range s.shards {
+		for dsh := range s.shards[i].outBuf[in] {
+			t += len(s.shards[i].outBuf[in][dsh])
+		}
 	}
 	return t
+}
+
+// AppendTokens appends slot's in-flight tokens, in canonical bucket order,
+// to dst and returns it. Used by tests and experiment introspection, not
+// by the hot path.
+func (s *Soup) AppendTokens(slot int, dst []Token) []Token {
+	sh, local := shard.Loc(s.slotLoc[slot])
+	ss := &s.shards[sh]
+	if s.capped {
+		for _, t := range ss.tok[ss.off[local]:ss.off[local+1]] {
+			dst = append(dst, t.token())
+		}
+		return dst
+	}
+	return s.appendVirtual(sh, local, dst)
 }
 
 // Inject starts count extra walks from the given slot this round (on top
@@ -185,16 +240,19 @@ func (s *Soup) TotalTokens() int {
 // would make two tokens share their step-hash identity and walk in
 // lock-step) and returns the number actually injected.
 func (s *Soup) Inject(e *simnet.Engine, slot, count, round int) int {
-	id := e.IDAt(slot)
-	base := len(s.buckets[slot])
+	sh, local := shard.Loc(s.slotLoc[slot])
+	base := s.TokensAt(slot)
 	if limit := 1<<16 - base; count > limit {
 		count = max(limit, 0)
 	}
-	for k := 0; k < count; k++ {
-		s.buckets[slot] = append(s.buckets[slot], Token{
-			Src: id, Birth: int32(round), Serial: uint16(base + k),
-			Steps: uint16(s.p.WalkLength),
-		})
+	if count > 0 {
+		if s.capped {
+			s.shards[sh].insert(local, count, e.IDAt(slot), int32(round),
+				uint16(base), uint16(s.p.WalkLength))
+		} else {
+			s.injectUncapped(sh, local, count, e.IDAt(slot), int32(round),
+				uint16(base), uint16(s.p.WalkLength))
+		}
 	}
 	s.m.Generated += int64(count)
 	return count
@@ -203,137 +261,36 @@ func (s *Soup) Inject(e *simnet.Engine, slot, count, round int) int {
 // stepHash derives the per-token per-round randomness. Mixing is
 // splitmix64-flavoured; the output decides the neighbour port and the lazy
 // coin, independent of any iteration order.
-func stepHash(seed uint64, round int, t Token) uint64 {
+func stepHash(seed uint64, round int, src simnet.NodeID, birth int32, serial uint16) uint64 {
 	x := seed + 0x9e3779b97f4a7c15*uint64(round+1)
-	x ^= uint64(t.Src) * 0xd1342543de82ef95
-	x ^= uint64(uint32(t.Birth))<<32 | uint64(t.Serial)
+	x ^= uint64(src) * 0xd1342543de82ef95
+	x ^= uint64(uint32(birth))<<32 | uint64(serial)
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
 }
 
-// StepRound implements simnet.RoundHook. Order of operations mirrors the
-// model: churn already happened (tokens at churned slots die), then every
-// node generates new walks, then every token takes one synchronous step.
+// StepRound implements simnet.RoundHook. Semantics mirror the model's
+// order of operations — churn already happened (tokens at churned slots
+// die), every node generates new walks, then every token takes one
+// synchronous step — but all three phases are fused into the single
+// sharded scatter pass (store.go): the per-slot scatter kills tokens at
+// replaced slots, emits the slot's fresh tokens after its stored ones, and
+// steps everything in one sweep, so no serial O(n) prelude remains.
 func (s *Soup) StepRound(e *simnet.Engine, round int) {
-	// 1. Tokens at churned slots die with their carriers.
-	for _, slot := range e.ChurnedThisRound() {
-		s.m.Died += int64(len(s.buckets[slot]))
-		s.buckets[slot] = s.buckets[slot][:0]
+	if s.capped {
+		s.scatter(e, round)
+	} else {
+		s.scatterUncapped(e, round)
 	}
-
-	// 2. Clear last round's samples.
-	for i := range s.samples {
-		s.samples[i] = s.samples[i][:0]
-	}
-
-	// 3. Generate fresh walks at every live slot. Like Inject, generation
-	// clamps at the uint16 serial bound: a bucket already holding 65536
-	// same-round tokens (huge injections, extreme ForwardCap backlogs)
-	// cannot mint wrapped serials that would walk in lock-step.
-	if s.p.WalksPerRound > 0 {
-		for slot := 0; slot < s.n; slot++ {
-			id := e.IDAt(slot)
-			base := len(s.buckets[slot])
-			count := s.p.WalksPerRound
-			if limit := 1<<16 - base; count > limit {
-				count = max(limit, 0)
-			}
-			for k := 0; k < count; k++ {
-				s.buckets[slot] = append(s.buckets[slot], Token{
-					Src: id, Birth: int32(round), Serial: uint16(base + k),
-					Steps: uint16(s.p.WalkLength),
-				})
-			}
-			s.m.Generated += int64(count)
-		}
-	}
-
-	// 4. Move all tokens one step: scatter then gather.
-	s.scatter(e, round)
 	s.gather()
-}
-
-func (s *Soup) scatter(e *simnet.Engine, round int) {
-	g := e.Graph()
-	d := uint64(g.Degree())
-	shard.Run(s.workers, func(sh int) {
-		tally := &s.tallies[sh]
-		*tally = Metrics{}
-		for dsh := 0; dsh < shard.Count; dsh++ {
-			s.xfer[sh][dsh] = s.xfer[sh][dsh][:0]
-			s.deliv[sh][dsh] = s.deliv[sh][dsh][:0]
-		}
-		lo, hi := shard.Bounds(sh, s.n)
-		for slot := lo; slot < hi; slot++ {
-			bucket := s.buckets[slot]
-			budget := len(bucket)
-			if s.p.ForwardCap > 0 && budget > s.p.ForwardCap {
-				budget = s.p.ForwardCap
-				tally.Deferred += int64(len(bucket) - budget)
-			}
-			keep := bucket[:0]
-			for i := range bucket {
-				t := bucket[i]
-				if round-int(t.Birth) > s.p.Deadline {
-					tally.Overdue++
-					continue
-				}
-				if i >= budget {
-					// Over the forwarding budget: the token waits
-					// here until next round.
-					keep = append(keep, t)
-					continue
-				}
-				h := stepHash(s.seed, round, t)
-				dst := slot
-				// Lazy self-loops flip the TOP hash bit: the fastrange
-				// port pick below consumes high bits, so the coin must
-				// come off the same end and be shifted away.
-				if lazyStay := s.p.Lazy && h>>63 == 1; !lazyStay {
-					if s.p.Lazy {
-						h <<= 1
-					}
-					// Fastrange port pick: ⌊h·d/2^64⌋ is uniform over
-					// [0, d) without the hardware divide h%d costs in
-					// this, the hottest loop of the simulator.
-					port, _ := bits.Mul64(h, d)
-					dst = int(g.Neighbor(slot, int(port)))
-				}
-				t.Steps--
-				tally.Moves++
-				dsh := shard.Of(dst, s.n)
-				if t.Steps == 0 {
-					tally.Completed++
-					s.deliv[sh][dsh] = append(s.deliv[sh][dsh],
-						taggedSample{slot: int32(dst), s: Sample{Src: t.Src, Birth: t.Birth}})
-				} else {
-					s.xfer[sh][dsh] = append(s.xfer[sh][dsh],
-						taggedToken{slot: int32(dst), t: t})
-				}
-			}
-			s.buckets[slot] = keep
-		}
-	})
-	for sh := range s.tallies {
-		s.m.Overdue += s.tallies[sh].Overdue
-		s.m.Moves += s.tallies[sh].Moves
-		s.m.Completed += s.tallies[sh].Completed
-		s.m.Deferred += s.tallies[sh].Deferred
+	if !s.capped {
+		// Only the uncapped path reads staging across rounds; the capped
+		// gather consumes it the same round, so capped runs pin side 0
+		// instead of growing both halves of the double buffer.
+		s.parity = 1 - s.parity
 	}
-}
-
-func (s *Soup) gather() {
-	shard.Run(s.workers, func(dsh int) {
-		// Merge source shards in fixed order for canonical bucket
-		// ordering.
-		for ssh := 0; ssh < shard.Count; ssh++ {
-			for _, tt := range s.xfer[ssh][dsh] {
-				s.buckets[tt.slot] = append(s.buckets[tt.slot], tt.t)
-			}
-			for _, ts := range s.deliv[ssh][dsh] {
-				s.samples[ts.slot] = append(s.samples[ts.slot], ts.s)
-			}
-		}
-	})
+	for i := range s.shards {
+		s.m.add(&s.shards[i].tally)
+	}
 }

@@ -319,6 +319,36 @@ func TestInjectClampsSerialOverflow(t *testing.T) {
 	}
 }
 
+func TestInjectClampNoLockstepTokens(t *testing.T) {
+	// Regression for the uint16-serial clamp surviving the columnar
+	// rewrite, on both store representations: injecting past 65536 must
+	// return the clamped count, and no two tokens in the bucket may share
+	// a (Src, Birth, Serial) step-hash identity — a wrapped serial would
+	// make the pair walk in lock-step forever.
+	for _, cap := range []int{0, 1 << 20} { // uncapped fast path, capped store
+		e := newEngine(32, churn.ZeroLaw{})
+		s := NewSoup(e, Params{WalkLength: 4, Deadline: 10, ForwardCap: cap}, 0)
+		if got := s.Inject(e, 3, 1<<16+500, 0); got != 1<<16 {
+			t.Fatalf("cap=%d: injected %d, want %d", cap, got, 1<<16)
+		}
+		if got := s.Inject(e, 3, 1, 0); got != 0 {
+			t.Fatalf("cap=%d: over-full slot accepted another token", cap)
+		}
+		toks := s.AppendTokens(3, nil)
+		if len(toks) != 1<<16 {
+			t.Fatalf("cap=%d: bucket holds %d tokens, want %d", cap, len(toks), 1<<16)
+		}
+		seen := make(map[Token]bool, len(toks))
+		for _, tok := range toks {
+			id := Token{Src: tok.Src, Birth: tok.Birth, Serial: tok.Serial}
+			if seen[id] {
+				t.Fatalf("cap=%d: duplicate step-hash identity %+v", cap, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
 func TestNewSoupValidation(t *testing.T) {
 	e := newEngine(32, churn.ZeroLaw{})
 	defer func() {

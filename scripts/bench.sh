@@ -18,7 +18,9 @@
 # (pre-optimisation: ~8 allocs per slot per round, ~32k/round at n=4096).
 #
 # Env overrides: BENCHTIME (default 20x), MAX_STEADY_ALLOCS (default 256),
-# OUT (default BENCH_roundloop.json).
+# OUT (default BENCH_roundloop.json), GATED_BENCHES (awk regex of benchmark
+# names the alloc gate applies to; default RouteOnly and SoupOnly at the
+# n=4096 reference size).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,13 +30,14 @@ if [[ "${1:-}" == "-short" ]]; then
 fi
 BENCHTIME="${BENCHTIME:-20x}"
 MAX_STEADY_ALLOCS="${MAX_STEADY_ALLOCS:-256}"
+GATED_BENCHES="${GATED_BENCHES:-^(RouteOnly|SoupOnly)\\/n=4096\$}"
 OUT="${OUT:-BENCH_roundloop.json}"
 RAW="$(mktemp)"
 PREV="$(mktemp)"
 trap 'rm -f "$RAW" "$PREV"' EXIT
-# The committed file may carry hand-curated "baseline_pre_pr" and "notes"
-# blocks; preserve them across regeneration (jq is present on CI runners
-# and dev boxes; without it the raw regenerated file stands alone).
+# The committed file may carry hand-curated baseline_* trajectory blocks
+# and "notes"; preserve them across regeneration (jq is present on CI
+# runners and dev boxes; without it the raw regenerated file stands alone).
 HAVE_PREV=""
 if [[ -f "$OUT" ]]; then
   cp "$OUT" "$PREV"
@@ -48,7 +51,8 @@ awk -v go_version="$(go version | awk '{print $3}')" \
     -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v gomaxprocs="$(nproc 2>/dev/null || echo 0)" \
-    -v max_allocs="$MAX_STEADY_ALLOCS" '
+    -v max_allocs="$MAX_STEADY_ALLOCS" \
+    -v gated="$GATED_BENCHES" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark(RouteOnly|SoupOnly|FullRound)\// {
   name = $1
@@ -61,7 +65,7 @@ awk -v go_version="$(go version | awk '{print $3}')" \
     if ($(i+1) == "token-moves/s") moves = $i
   }
   rows[++n] = sprintf("    {\"name\": \"%s\", \"ns_per_round\": %s, \"allocs_per_round\": %s, \"bytes_per_round\": %s, \"token_moves_per_s\": %s}", name, ns, allocs, bytes, moves)
-  if (name ~ /^(RouteOnly|SoupOnly)\/n=4096$/ && allocs != "null" && allocs + 0 > max_allocs + 0) {
+  if (name ~ gated && allocs != "null" && allocs + 0 > max_allocs + 0) {
     printf "FAIL: %s allocates %s/round, budget is %s\n", name, allocs, max_allocs > "/dev/stderr"
     bad = 1
   }
@@ -76,7 +80,7 @@ END {
 GATE="${GATE:-0}"
 
 if [[ -n "$HAVE_PREV" ]] && command -v jq >/dev/null 2>&1; then
-  if jq -s '.[1] + (.[0] | {baseline_pre_pr, notes} | with_entries(select(.value != null)))' \
+  if jq -s '.[1] + (.[0] | with_entries(select(.key | test("^baseline_|^notes$"))))' \
       "$PREV" "$OUT" > "$OUT.tmp" 2>/dev/null; then
     mv "$OUT.tmp" "$OUT"
   else
