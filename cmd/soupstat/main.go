@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"dynp2p/internal/churn"
 	"dynp2p/internal/expander"
@@ -26,7 +27,8 @@ func main() {
 	delta := flag.Float64("delta", 0.5, "churn exponent delta")
 	rounds := flag.Int("rounds", 0, "measurement rounds (0 = 3x walk length)")
 	seed := flag.Uint64("seed", 1, "seed")
-	lazy := flag.Bool("lazy", false, "use lazy walks")
+	lazy := flag.Bool("lazy", false, "use lazy walks (stay-put coin)")
+	store := flag.String("store", "auto", "token store: auto|lazy|eager (auto = lazy trajectory evaluation when uncapped)")
 	flag.Parse()
 
 	var law churn.Law = churn.ZeroLaw{}
@@ -40,11 +42,23 @@ func main() {
 	})
 	p := walks.DefaultParams(*n)
 	p.Lazy = *lazy
+	switch *store {
+	case "auto":
+		p.Store = walks.StoreAuto
+	case "lazy":
+		p.Store = walks.StoreLazy
+	case "eager":
+		p.Store = walks.StoreEager
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -store %q (want auto|lazy|eager)\n", *store)
+		os.Exit(2)
+	}
 	s := walks.NewSoup(e, p, 0)
 	e.AddHook(s)
 
-	fmt.Printf("n=%d churn=%d/round walk-len=%d walks/node/round=%d lazy=%v\n",
-		*n, law.PerRound(*n, 0), p.WalkLength, p.WalksPerRound, *lazy)
+	storeName := [...]string{"auto", "capped", "eager", "lazy-eval"}[s.Params().Store]
+	fmt.Printf("n=%d churn=%d/round walk-len=%d walks/node/round=%d lazy=%v store=%s\n",
+		*n, law.PerRound(*n, 0), p.WalkLength, p.WalksPerRound, *lazy, storeName)
 
 	warm := 2 * p.WalkLength
 	e.Run(simnet.NopHandler{}, warm)

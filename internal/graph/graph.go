@@ -47,6 +47,12 @@ func (g *Graph) Neighbors(v int) []int32 {
 	return g.adj[v*g.d : (v+1)*g.d]
 }
 
+// Adjacency returns the flat n·d adjacency array (adj[v*d+p] is the p-th
+// neighbour of v), aliasing the graph's storage. The caller must not
+// modify it. Per-round snapshotting (e.g. the walk soup's lazy trajectory
+// ring) copies this wholesale instead of walking n Neighbors slices.
+func (g *Graph) Adjacency() []int32 { return g.adj }
+
 // Neighbor returns the p-th neighbour of v.
 func (g *Graph) Neighbor(v, p int) int32 { return g.adj[v*g.d+p] }
 

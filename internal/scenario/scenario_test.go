@@ -6,6 +6,9 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"dynp2p/internal/protocol"
+	"dynp2p/internal/walks"
 )
 
 func TestSpecJSONRoundTrip(t *testing.T) {
@@ -240,6 +243,51 @@ func TestBuiltinsSmoke(t *testing.T) {
 				t.Fatal("report table missing TOTAL row")
 			}
 		})
+	}
+}
+
+// TestDrainCoversSearchTTL pins the drain contract: DrainRounds must
+// cover the protocol's SearchTTL under every builtin scenario shape, so
+// retrievals issued in the very last phase round either complete or
+// expire inside the run — they are never miscounted as Lost merely
+// because the run ended. The witness is a zero-fault, zero-churn steady
+// run: with no churn no searcher can legitimately be lost, so any Lost
+// at all means the drain tail is too short (or the end-of-run sweep
+// reaped an in-flight request).
+func TestDrainCoversSearchTTL(t *testing.T) {
+	wp := walks.DefaultParams(128)
+	ttl := protocol.DefaultParams(128, wp.WalkLength).SearchTTL
+	for _, name := range Names() {
+		spec, err := Builtin(name, 128, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := spec.DrainRounds(); got < ttl {
+			t.Fatalf("%s: DrainRounds() = %d < SearchTTL %d", name, got, ttl)
+		}
+	}
+	spec := Spec{
+		Name: "drain-steady", N: 128, Seed: 9,
+		Phases: []Phase{
+			{Name: "seed", Rounds: 30, Load: Workload{StoreRate: 0.5, RetrieveRate: 0.3}},
+			{Name: "serve", Rounds: 30, Load: Workload{RetrieveRate: 1.5}},
+		},
+	}
+	spec.normalize()
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := rep.Total
+	if tot.Issued == 0 {
+		t.Fatal("no retrievals issued; the run exercised nothing")
+	}
+	if tot.Lost != 0 {
+		t.Fatalf("zero-fault zero-churn steady run reports Lost = %d (of %d issued); "+
+			"in-flight retrievals at run end were miscounted", tot.Lost, tot.Issued)
+	}
+	if tot.Issued != tot.Completed {
+		t.Fatalf("accounting: issued %d != completed %d with nothing lost", tot.Issued, tot.Completed)
 	}
 }
 

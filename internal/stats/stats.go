@@ -57,10 +57,12 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
-// String renders a Summary compactly for experiment tables.
+// String renders a Summary compactly for experiment tables, including
+// both tail quantiles Summarize computes (p05 and p99 were silently
+// dropped once; TestSummaryStringRendersAllFields pins the full set).
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.4g std=%.3g min=%.4g med=%.4g p95=%.4g max=%.4g",
-		s.N, s.Mean, s.Std, s.Min, s.Median, s.P95, s.Max)
+	return fmt.Sprintf("n=%d mean=%.4g std=%.3g min=%.4g p05=%.4g med=%.4g p95=%.4g p99=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.P05, s.Median, s.P95, s.P99, s.Max)
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of sorted (ascending) data

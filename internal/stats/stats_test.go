@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -225,6 +226,28 @@ func TestSummaryStringStable(t *testing.T) {
 	s := Summarize([]float64{1, 2, 3})
 	if s.String() == "" {
 		t.Fatal("String should not be empty")
+	}
+}
+
+// TestSummaryStringRendersAllFields pins the rendered field set:
+// String once silently dropped the computed P05/P99 tail quantiles, so
+// experiment tables showed no tails. Every Summarize output must appear,
+// with the value Summarize computed for it.
+func TestSummaryStringRendersAllFields(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i) // quantiles land exactly on integers
+	}
+	s := Summarize(xs)
+	got := s.String()
+	want := "n=101 mean=50 std=29.3 min=0 p05=5 med=50 p95=95 p99=99 max=100"
+	if got != want {
+		t.Fatalf("Summary.String() = %q, want %q", got, want)
+	}
+	for _, field := range []string{"n=", "mean=", "std=", "min=", "p05=", "med=", "p95=", "p99=", "max="} {
+		if !strings.Contains(got, field) {
+			t.Fatalf("Summary.String() missing %q: %q", field, got)
+		}
 	}
 }
 

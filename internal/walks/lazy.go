@@ -1,0 +1,541 @@
+package walks
+
+// The lazy trajectory evaluator (StoreLazy) is the third store
+// representation. With ForwardCap == 0 no token is ever deferred, so a
+// walk's entire T-step trajectory is a pure function of its identity
+// (src, birth, serial), the evolving topology, and the churn record: the
+// per-round staged exchange can be deleted outright. Instead of moving
+// every in-flight token every round, StepRound records only the round's
+// inputs — the adjacency snapshot, the post-churn occupant ids, and the
+// per-slot arrival counts — in a (T+2)-deep ring (churn itself lives in
+// the engine's bounded ReplacedInRound history), and replays one birth
+// cohort's full trajectory at its delivery round birth+T-1, with
+// per-step death checks against the ring. Fresh cohorts need no storage
+// at all: every live slot mints WalksPerRound implicit walks, and Inject
+// records explicit extras; a cohort's tokens are materialized once, at
+// delivery, and their buffer is recycled. Steady-state soup state
+// therefore drops from 16 bytes per in-flight token (the staged store,
+// double-buffered) to a handful of table rows per round.
+//
+// Two parts are retrospective and make the representation exact, not
+// approximate:
+//
+//   - Serial continuation. A slot's fresh walks continue serials from its
+//     stored-survivor count (store.go's generation coda), which depends
+//     on where every older cohort's tokens sit at the birth round. Each
+//     cohort's replay therefore increments the NEXT round's arrival
+//     table as tokens land; cohort b-1 delivers (and finishes writing
+//     arrive[b]) one round before cohort b is created, so the serial
+//     bases are always complete exactly when they are needed.
+//   - Metrics and introspection. Queries (Metrics, TokensAt, TotalTokens,
+//     AppendTokens, Inject) force every in-flight cohort's partial
+//     trajectory up to the last stepped round, caching per-cohort
+//     positions and resuming at delivery, so an event is counted iff its
+//     round has run — bit-identical to the eager stores at any query
+//     pattern and any worker count. The no-query hot path never pays for
+//     any of this.
+//
+// Overdue is identically zero here for the same reason as the eager
+// uncapped path: an undeferred token's age never exceeds WalkLength-1,
+// and NewSoup clamps Deadline up to WalkLength.
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"dynp2p/internal/shard"
+	"dynp2p/internal/simnet"
+)
+
+// replayTok is one cached live token of a partially-evaluated cohort:
+// the step-hash identity plus the current slot. 16 bytes, updated in
+// place — replay is a single sequential stream per shard.
+type replayTok struct {
+	idser uint64 // src<<16 | serial
+	birth int32  // birth round (normally the cohort round; Inject may differ)
+	pos   int32  // slot the token occupies after the evalRound step
+}
+
+// injRec is one Inject call, recorded until its cohort is materialized.
+type injRec struct {
+	slot  int32
+	count int32
+	birth int32
+	base  uint16 // serial base: the slot's stored count at inject time
+	id    simnet.NodeID
+}
+
+// lazyRound is one ring entry of recorded round inputs.
+type lazyRound struct {
+	round    int32 // validity tag; -1 = empty
+	anyChurn bool
+	row      []int32         // n·d adjacency snapshot for the round
+	ids      []simnet.NodeID // occupant ids after the round's churn
+}
+
+// lazyCohort tracks one birth cohort's evaluation state. Its token
+// buffers live per birth shard in soupShard.lzToks.
+type lazyCohort struct {
+	round     int32 // birth round; -1 = empty
+	evalRound int32 // replayed through this round (== round-1 at creation)
+	created   bool
+	delivered bool
+	inj       []injRec
+}
+
+// lazySoup is the store-wide lazy state hanging off Soup.lz.
+type lazySoup struct {
+	T     int // WalkLength: trajectory length and delivery offset
+	depth int // ring depth, T+2: covers every input a replay can need
+	d     int // topology degree
+	eng   *simnet.Engine
+
+	firstRound, lastRound int // first/last round stepped; -1 before any
+
+	rounds  []lazyRound
+	arrives [][]int32 // arrives[r%depth][slot]: tokens stored at slot at round r
+	cohorts []lazyCohort
+	pending []injRec // injections for the next stepped round
+
+	// atomicArrive: with >1 workers, shards replay concurrently and land
+	// tokens on arbitrary slots, so arrival-count increments go through
+	// atomics; counts are additive, so the sums — and everything derived
+	// from them — are identical at every worker count.
+	atomicArrive bool
+	countsOK     bool // per-shard counts caches reflect current state
+}
+
+// newLazySoup builds the ring. All per-round tables are allocated up
+// front so the steady-state round loop never grows them.
+func newLazySoup(e *simnet.Engine, s *Soup) *lazySoup {
+	T := s.p.WalkLength
+	depth := T + 2
+	n, d := s.n, e.Degree()
+	lz := &lazySoup{
+		T: T, depth: depth, d: d, eng: e,
+		firstRound: -1, lastRound: -1,
+		atomicArrive: s.workers > 1,
+		rounds:       make([]lazyRound, depth),
+		arrives:      make([][]int32, depth),
+		cohorts:      make([]lazyCohort, depth),
+	}
+	for i := range lz.rounds {
+		lz.rounds[i].round = -1
+		lz.rounds[i].row = make([]int32, n*d)
+		lz.rounds[i].ids = make([]simnet.NodeID, 0, n)
+		lz.arrives[i] = make([]int32, n)
+		lz.cohorts[i].round = -1
+	}
+	for i := range s.shards {
+		s.shards[i].lzToks = make([][]replayTok, depth)
+	}
+	// Replays need exact per-round death checks for up to T rounds back,
+	// beyond what the engine's latest-occupancy record can answer.
+	e.RetainReplacedHistory(depth)
+	return lz
+}
+
+// stepLazy is the lazy store's StepRound: record the round's inputs, seat
+// the round's cohort (identity only — no token state), replay the one
+// cohort falling due, and publish its samples.
+func (s *Soup) stepLazy(e *simnet.Engine, round int) {
+	lz := s.lz
+	if lz.firstRound < 0 {
+		lz.firstRound = round
+	}
+	ri := round % lz.depth
+	rr := &lz.rounds[ri]
+	rr.round = int32(round)
+	rr.anyChurn = round > 0 && len(e.ChurnedThisRound()) > 0
+	copy(rr.row, e.Graph().Adjacency())
+	rr.ids = e.LiveIDs(rr.ids[:0])
+	// arrive[round+1] starts accumulating this round (delivery landings
+	// now, query-forced partial landings after); its ring slot's previous
+	// tenant was last read at cohort creation T+1 rounds ago.
+	arr := lz.arrives[(round+1)%lz.depth]
+	for i := range arr {
+		arr[i] = 0
+	}
+	coh := &lz.cohorts[ri]
+	oldInj := coh.inj
+	*coh = lazyCohort{round: int32(round), evalRound: int32(round - 1), inj: lz.pending}
+	if oldInj != nil {
+		oldInj = oldInj[:0]
+	}
+	lz.pending = oldInj
+	for i := range s.shards {
+		ss := &s.shards[i]
+		for dsh := range ss.outSmp {
+			ss.outSmp[dsh] = ss.outSmp[dsh][:0]
+		}
+	}
+	lz.lastRound = round
+	if c := round - lz.T + 1; c >= lz.firstRound {
+		s.lzAdvance(c, round)
+		ci := c % lz.depth
+		for i := range s.shards {
+			ss := &s.shards[i]
+			if buf := ss.lzToks[ci]; buf != nil {
+				ss.lzFree = append(ss.lzFree, buf[:0])
+				ss.lzToks[ci] = nil
+			}
+		}
+		lz.cohorts[ci].delivered = true
+	}
+	s.gatherSamples()
+	lz.countsOK = false
+}
+
+// gatherSamples rebuilds the per-shard sample stores from outSmp staging
+// (shared counting sort with the eager gather).
+func (s *Soup) gatherSamples() {
+	shard.Run(s.workers, func(dsh int) {
+		s.gatherSamplesShard(&s.shards[dsh], dsh)
+	})
+}
+
+// lzAdvance creates cohort b if needed and replays it through round to,
+// folding the tallies into the soup metrics. Callers guarantee every
+// older cohort has already been replayed through b-1 (StepRound delivers
+// in birth order; lzSync forces in birth order), which is what makes the
+// arrival tables — and so the serial bases — complete when read.
+func (s *Soup) lzAdvance(b, to int) {
+	lz := s.lz
+	coh := &lz.cohorts[b%lz.depth]
+	if int(coh.round) != b {
+		panic("walks: lazy cohort ring does not cover the requested round")
+	}
+	from := b
+	if coh.created {
+		if int(coh.evalRound) >= to {
+			return
+		}
+		from = int(coh.evalRound) + 1
+	}
+	final := b + lz.T - 1
+	if s.workers == 1 {
+		// Inline and round-major: every shard steps through round r
+		// before any shard moves to r+1, so each ring row table is
+		// streamed through cache once per advance.
+		if !coh.created {
+			for sh := range s.shards {
+				s.lzCreateShard(&s.shards[sh], b)
+			}
+		}
+		for r := from; r <= to; r++ {
+			fin := r == final
+			for sh := range s.shards {
+				s.lzReplayShard(&s.shards[sh], b, r, fin)
+			}
+		}
+	} else {
+		// One parallel pass, shard-major: a worker advances its whole
+		// shard's slice of the cohort before taking the next shard.
+		// Trajectories are independent across shards and arrival updates
+		// are atomic and additive, so the result is bit-identical to the
+		// round-major order; a single shard.Run per advance keeps
+		// steady-state allocations flat.
+		created := coh.created
+		shard.Run(s.workers, func(sh int) {
+			ss := &s.shards[sh]
+			if !created {
+				s.lzCreateShard(ss, b)
+			}
+			for r := from; r <= to; r++ {
+				s.lzReplayShard(ss, b, r, r == final)
+			}
+		})
+	}
+	coh.created = true
+	coh.evalRound = int32(to)
+	for i := range s.shards {
+		s.m.add(&s.shards[i].tally)
+		s.shards[i].tally = Metrics{}
+	}
+}
+
+// lzReplaced tests slot in a replacement bitset (nil = no churn).
+func lzReplaced(death []uint64, slot int32) bool {
+	return death != nil && death[uint32(slot)>>6]>>(uint32(slot)&63)&1 != 0
+}
+
+// lzCreateShard materializes cohort b's tokens born in ss's slots:
+// recorded injections first (they were stored at their slot before the
+// round began, so they die with a churned carrier and their survivors
+// count toward the generation serial base), then one implicit fresh batch
+// per slot, serials continuing from the slot's stored-survivor count —
+// identical semantics to the eager scatter's generation coda.
+func (s *Soup) lzCreateShard(ss *soupShard, b int) {
+	lz := s.lz
+	ring := &lz.rounds[b%lz.depth]
+	arrive := lz.arrives[b%lz.depth]
+	coh := &lz.cohorts[b%lz.depth]
+	var death []uint64
+	if ring.anyChurn {
+		death = lz.eng.ReplacedBitsInRound(b)
+	}
+	toks := ss.lzPop()
+	var generated, died int64
+	lo, hi := ss.lo, ss.hi
+	hasInj := false
+	for i := range coh.inj {
+		in := &coh.inj[i]
+		slot := int(in.slot)
+		if slot < lo || slot >= hi {
+			continue
+		}
+		if !hasInj {
+			hasInj = true
+			cur := ss.cursor
+			for j := range cur {
+				cur[j] = 0
+			}
+		}
+		if lzReplaced(death, in.slot) {
+			died += int64(in.count)
+			continue
+		}
+		ss.cursor[slot-lo] += in.count
+		idser := uint64(in.id) << 16
+		for k := int32(0); k < in.count; k++ {
+			toks = append(toks, replayTok{idser: idser | uint64(in.base+uint16(k)), birth: in.birth, pos: in.slot})
+		}
+	}
+	if wpr := s.p.WalksPerRound; wpr > 0 {
+		ids := ring.ids
+		for slot := lo; slot < hi; slot++ {
+			base := 0
+			if !lzReplaced(death, int32(slot)) {
+				base = int(arrive[slot])
+				if hasInj {
+					base += int(ss.cursor[slot-lo])
+				}
+			}
+			// Same uint16-serial clamp as the eager generation coda.
+			gen := wpr
+			if limit := 1<<16 - base; gen > limit {
+				gen = max(limit, 0)
+			}
+			generated += int64(gen)
+			if gen == 0 {
+				continue
+			}
+			id := ids[slot]
+			if uint64(id) >= maxSrcID {
+				panic("walks: node id exceeds the packed staging range")
+			}
+			idser := uint64(id) << 16
+			for k := 0; k < gen; k++ {
+				toks = append(toks, replayTok{idser: idser | uint64(uint16(base+k)), birth: int32(b), pos: int32(slot)})
+			}
+		}
+	}
+	ss.lzToks[b%lz.depth] = toks
+	ss.tally.Generated += generated
+	ss.tally.Died += died
+}
+
+// lzReplayShard advances cohort b's tokens in ss by the single round r:
+// per-step death check against the engine's replacement record, one
+// step hash, one ring row load, and — for non-final rounds — one arrival
+// increment at the landing slot. The step core matches store.go's
+// scatter loops bit for bit.
+func (s *Soup) lzReplayShard(ss *soupShard, b, r int, final bool) {
+	lz := s.lz
+	ring := &lz.rounds[r%lz.depth]
+	toks := ss.lzToks[b%lz.depth]
+	if len(toks) == 0 {
+		return
+	}
+	row := ring.row
+	d := lz.d
+	du := uint64(d)
+	var death []uint64
+	// At r == b every token is freshly minted (injected deaths were
+	// resolved at creation), so only later rounds check for churn.
+	if r > b && ring.anyChurn {
+		death = lz.eng.ReplacedBitsInRound(r)
+	}
+	arr := lz.arrives[(r+1)%lz.depth]
+	atomicArr := lz.atomicArrive
+	lazyWalk := s.p.Lazy
+	seed := s.seed
+	slotLoc := s.slotLoc
+	var died, moves, completed int64
+	var pfSink int32
+	w := 0
+	for i := 0; i < len(toks); i++ {
+		// The upcoming row access is random; touch it a few records ahead
+		// so it hits L1 when its turn comes (the sink keeps the load live).
+		if i+6 < len(toks) {
+			pfSink += row[int(toks[i+6].pos)*d]
+		}
+		t := toks[i]
+		if lzReplaced(death, t.pos) {
+			died++
+			continue
+		}
+		// Step core — keep in sync with scatter/scatterUncapped.
+		h := stepHash(seed, r, simnet.NodeID(t.idser>>16), t.birth, uint16(t.idser))
+		pos := t.pos
+		if lazyStay := lazyWalk && h>>63 == 1; !lazyStay {
+			if lazyWalk {
+				h <<= 1
+			}
+			port, _ := bits.Mul64(h, du)
+			pos = row[int(t.pos)*d+int(port)]
+		}
+		moves++
+		if final {
+			completed++
+			loc := slotLoc[pos]
+			dsh := loc >> shard.LocalBits
+			ss.outSmp[dsh] = append(ss.outSmp[dsh], stagedSmp{
+				loc: t.idser>>16<<shard.LocalBits | uint64(loc&localMask), birth: t.birth})
+		} else {
+			if atomicArr {
+				atomic.AddInt32(&arr[pos], 1)
+			} else {
+				arr[pos]++
+			}
+			t.pos = pos
+			toks[w] = t
+			w++
+		}
+	}
+	ss.lzToks[b%lz.depth] = toks[:w]
+	ss.pfSink += uint32(pfSink)
+	ss.tally.Died += died
+	ss.tally.Moves += moves
+	ss.tally.Completed += completed
+}
+
+// lzPop takes a recycled token buffer (empty, capacity retained) from
+// the shard's pool; the no-query steady state keeps exactly one buffer
+// in circulation per shard.
+func (ss *soupShard) lzPop() []replayTok {
+	if n := len(ss.lzFree); n > 0 {
+		buf := ss.lzFree[n-1]
+		ss.lzFree = ss.lzFree[:n-1]
+		return buf
+	}
+	return nil
+}
+
+// lzSync forces every in-flight cohort's evaluation up to the last
+// stepped round (and optionally refreshes the per-slot count caches),
+// serialized so concurrent protocol handlers can query freely. Repeat
+// calls are cheap: each cohort resumes from its cached positions, so a
+// query-every-round workload degrades gracefully to eager-equivalent
+// work rather than re-deriving trajectories.
+func (s *Soup) lzSync(wantCounts bool) {
+	lz := s.lz
+	s.countsMu.Lock()
+	defer s.countsMu.Unlock()
+	if R := lz.lastRound; R >= 0 {
+		for b := max(lz.firstRound, R-lz.T+2); b <= R; b++ {
+			s.lzAdvance(b, R)
+		}
+	}
+	if wantCounts && !lz.countsOK {
+		s.lzFillCounts()
+		lz.countsOK = true
+	}
+}
+
+// lzFillCounts rebuilds the per-shard per-slot token counts from the
+// cached cohort positions plus pending injections. Called under countsMu.
+func (s *Soup) lzFillCounts() {
+	lz := s.lz
+	for i := range s.shards {
+		cs := s.shards[i].counts
+		for j := range cs {
+			cs[j] = 0
+		}
+	}
+	if lz.lastRound >= 0 {
+		for b := max(lz.firstRound, lz.lastRound-lz.T+2); b <= lz.lastRound; b++ {
+			ci := b % lz.depth
+			for i := range s.shards {
+				for _, t := range s.shards[i].lzToks[ci] {
+					loc := s.slotLoc[t.pos]
+					s.shards[loc>>shard.LocalBits].counts[loc&localMask]++
+				}
+			}
+		}
+	}
+	for i := range lz.pending {
+		in := &lz.pending[i]
+		loc := s.slotLoc[in.slot]
+		s.shards[loc>>shard.LocalBits].counts[loc&localMask] += in.count
+	}
+}
+
+// lzTotalTokens sums live cohort sizes plus pending injections.
+func (s *Soup) lzTotalTokens() int {
+	s.lzSync(false)
+	lz := s.lz
+	t := 0
+	if lz.lastRound >= 0 {
+		for b := max(lz.firstRound, lz.lastRound-lz.T+2); b <= lz.lastRound; b++ {
+			ci := b % lz.depth
+			for i := range s.shards {
+				t += len(s.shards[i].lzToks[ci])
+			}
+		}
+	}
+	for i := range lz.pending {
+		t += int(lz.pending[i].count)
+	}
+	return t
+}
+
+// lzAppendTokens appends slot's tokens in the lazy store's canonical
+// order: cohorts by birth round, within a cohort by birth shard then
+// materialization order, pending injections last.
+func (s *Soup) lzAppendTokens(slot int, dst []Token) []Token {
+	s.lzSync(false)
+	lz := s.lz
+	if lz.lastRound >= 0 {
+		for b := max(lz.firstRound, lz.lastRound-lz.T+2); b <= lz.lastRound; b++ {
+			ci := b % lz.depth
+			steps := uint16(lz.T - (lz.lastRound - b + 1))
+			for i := range s.shards {
+				for _, t := range s.shards[i].lzToks[ci] {
+					if int(t.pos) == slot {
+						dst = append(dst, Token{
+							Src: simnet.NodeID(t.idser >> 16), Birth: t.birth,
+							Serial: uint16(t.idser), Steps: steps,
+						})
+					}
+				}
+			}
+		}
+	}
+	for i := range lz.pending {
+		in := &lz.pending[i]
+		if int(in.slot) != slot {
+			continue
+		}
+		for k := int32(0); k < in.count; k++ {
+			dst = append(dst, Token{Src: in.id, Birth: in.birth,
+				Serial: in.base + uint16(k), Steps: uint16(s.p.WalkLength)})
+		}
+	}
+	return dst
+}
+
+// lzInject records an injection for the next stepped round. The serial
+// base (the slot's stored count at inject time) was computed by the
+// caller via TokensAt, which forced evaluation, so generation continuing
+// from the post-inject count can never mint a colliding identity.
+func (s *Soup) lzInject(slot, count int, id simnet.NodeID, birth int32, base uint16) {
+	if uint64(id) >= maxSrcID {
+		panic("walks: node id exceeds the packed staging range")
+	}
+	lz := s.lz
+	lz.pending = append(lz.pending, injRec{
+		slot: int32(slot), count: int32(count), id: id, birth: birth, base: base,
+	})
+	lz.countsOK = false
+}

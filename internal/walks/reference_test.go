@@ -241,17 +241,47 @@ func TestColumnarMatchesReferenceCapped(t *testing.T) {
 	}
 }
 
-// TestColumnarMatchesReferenceUncapped pins the ForwardCap == 0 fast path
-// (staging-is-the-store) to the reference model: with no forwarding
-// budget no token's fate depends on bucket position, so per-slot token
-// and sample multisets and all metrics must match exactly; ordering
-// follows the fast path's own canonical (source-shard-major) order and is
-// checked for worker-count independence by TestDeterministicAcrossWorkerCounts.
+// TestColumnarMatchesReferenceUncapped pins the ForwardCap == 0 eager
+// fast path (staging-is-the-store, pinned via StoreEager now that
+// StoreAuto resolves uncapped soups to the lazy evaluator) to the
+// reference model: with no forwarding budget no token's fate depends on
+// bucket position, so per-slot token and sample multisets and all
+// metrics must match exactly; ordering follows the fast path's own
+// canonical (source-shard-major) order and is checked for worker-count
+// independence by TestDeterministicAcrossWorkerCounts.
 func TestColumnarMatchesReferenceUncapped(t *testing.T) {
-	p := Params{WalksPerRound: 3, WalkLength: 7, Deadline: 20, Lazy: true}
+	p := Params{WalksPerRound: 3, WalkLength: 7, Deadline: 20, Lazy: true, Store: StoreEager}
 	for _, workers := range []int{1, 3, runtime.GOMAXPROCS(0)} {
 		for _, n := range []int{50, 128} {
 			runAgainstReference(t, p, workers, n, 300, false)
 		}
+	}
+}
+
+// TestLazyMatchesReference is the bugfix safety net for the lazy
+// trajectory evaluator: several hundred rounds of churn + Lazy + periodic
+// injection, compared against the naive reference model every round —
+// per-slot token multisets, TokensAt/TotalTokens, per-slot sample
+// multisets, and every metric — at worker counts 1, 3, and GOMAXPROCS.
+// Because the harness queries the soup every round, this also drives the
+// query-forced partial-evaluation machinery (cached cohort positions,
+// retrospective arrival counts, resumed delivery) through every round.
+func TestLazyMatchesReference(t *testing.T) {
+	p := Params{WalksPerRound: 3, WalkLength: 7, Deadline: 20, Lazy: true, Store: StoreLazy}
+	for _, workers := range []int{1, 3, runtime.GOMAXPROCS(0)} {
+		for _, n := range []int{50, 128} { // 50 < shard.Count exercises empty shards
+			runAgainstReference(t, p, workers, n, 300, false)
+		}
+	}
+}
+
+// TestLazyMatchesReferenceShortWalks covers the T=1 and T=2 degenerate
+// ring geometries (a cohort delivering the round it is born; a ring of
+// minimum depth) that the default-length oracle never reaches.
+func TestLazyMatchesReferenceShortWalks(t *testing.T) {
+	for _, T := range []int{1, 2} {
+		p := Params{WalksPerRound: 2, WalkLength: T, Deadline: 3 * T, Lazy: true, Store: StoreLazy}
+		runAgainstReference(t, p, 1, 64, 120, false)
+		runAgainstReference(t, p, 3, 64, 120, false)
 	}
 }

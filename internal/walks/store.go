@@ -149,6 +149,13 @@ type soupShard struct {
 	tally  Metrics
 	pfSink uint32 // sink keeping the scatter's prefetch loads live
 
+	// Lazy-evaluator state (lazy.go): lzToks[b%depth] holds the cached
+	// live tokens of cohort b that were born in this shard's slots (their
+	// pos may be anywhere); lzFree recycles the buffers, so the no-query
+	// steady state keeps exactly one cohort's buffer in circulation.
+	lzToks [][]replayTok
+	lzFree [][]replayTok
+
 	// wc/wcLen: software write-combining blocks for the uncapped
 	// scatter's staged appends — tokens buffer in these L1-resident
 	// blocks and flush wcWidth at a time, so the 64 staging tails are
@@ -560,30 +567,40 @@ func (s *Soup) gather() {
 		}
 
 		// Samples.
-		for i := range counts {
-			counts[i] = 0
-		}
-		for ssh := range s.shards {
-			for _, t := range s.shards[ssh].outSmp[dsh] {
-				counts[t.loc&localMask]++
-			}
-		}
-		stotal := int(shard.Offsets(counts, ds.smpOff))
-		if cap(ds.smp) < stotal {
-			ds.smp = make([]Sample, stotal, max(stotal, 2*cap(ds.smp)))
-		} else {
-			ds.smp = ds.smp[:stotal]
-		}
-		copy(counts, ds.smpOff[:len(counts)])
-		for ssh := range s.shards {
-			for _, t := range s.shards[ssh].outSmp[dsh] {
-				l := t.loc & localMask
-				pos := counts[l]
-				counts[l] = pos + 1
-				ds.smp[pos] = Sample{Src: simnet.NodeID(t.loc >> shard.LocalBits), Birth: t.birth}
-			}
-		}
+		s.gatherSamplesShard(ds, dsh)
 	})
+}
+
+// gatherSamplesShard rebuilds destination shard dsh's sample store from
+// the per-source-shard outSmp staging with a stable two-pass counting
+// sort (replacing last round's sample store wholesale is also what
+// "clears" samples). Shared by the capped/eager gather and the lazy
+// evaluator's delivery step.
+func (s *Soup) gatherSamplesShard(ds *soupShard, dsh int) {
+	counts := ds.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	for ssh := range s.shards {
+		for _, t := range s.shards[ssh].outSmp[dsh] {
+			counts[t.loc&localMask]++
+		}
+	}
+	stotal := int(shard.Offsets(counts, ds.smpOff))
+	if cap(ds.smp) < stotal {
+		ds.smp = make([]Sample, stotal, max(stotal, 2*cap(ds.smp)))
+	} else {
+		ds.smp = ds.smp[:stotal]
+	}
+	copy(counts, ds.smpOff[:len(counts)])
+	for ssh := range s.shards {
+		for _, t := range s.shards[ssh].outSmp[dsh] {
+			l := t.loc & localMask
+			pos := counts[l]
+			counts[l] = pos + 1
+			ds.smp[pos] = Sample{Src: simnet.NodeID(t.loc >> shard.LocalBits), Birth: t.birth}
+		}
+	}
 }
 
 // inboxParity returns the outBuf side holding the tokens the NEXT round

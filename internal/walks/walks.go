@@ -10,15 +10,16 @@
 //
 // Implementation notes (the HPC parts):
 //
-//   - Tokens live in a columnar store of packed 16-byte two-lane records
-//     (src|slot, birth|serial|steps). A round moves every token one step
-//     with a two-phase sharded exchange — scatter by source shard into
-//     per-(source, destination) staging, then a counting-sort gather.
-//     With a forwarding cap the gather materializes each shard's
-//     slot-major bucket array (per-slot offset index, canonical order);
-//     without one (the paper's default) the staged buffers themselves
-//     are the store, consumed next round in canonical source order. See
-//     store.go.
+//   - The token store has three representations (Params.Store). With a
+//     forwarding cap, tokens live in a columnar store of packed 16-byte
+//     two-lane records (src|slot, birth|serial|steps) moved one step per
+//     round by a two-phase sharded exchange whose counting-sort gather
+//     materializes slot-major buckets (store.go). Without a cap the
+//     default is the lazy trajectory evaluator (lazy.go): no per-token
+//     state between rounds at all, just a (T+2)-deep ring of per-round
+//     inputs, with each birth cohort replayed once at its delivery
+//     round; the eager staging-is-the-store exchange remains selectable
+//     (StoreEager) for differential testing and benchmarks.
 //   - Each token's step is derived by hashing (seed, round, src, birth,
 //     serial), not by consuming a shared stream, so the simulation is
 //     bit-reproducible at any worker count.
@@ -57,6 +58,32 @@ type Sample struct {
 	Birth int32
 }
 
+// StoreKind selects the token-store representation (see store.go and
+// lazy.go for the implementations and DESIGN.md §6 for the rationale).
+type StoreKind uint8
+
+const (
+	// StoreAuto picks the best representation for the parameters: the
+	// exact capped store when ForwardCap > 0, the lazy trajectory
+	// evaluator otherwise (the paper's default).
+	StoreAuto StoreKind = iota
+	// StoreCapped is the materialized slot-major store rebuilt each round
+	// by the counting-sort gather. Required (and only valid) when
+	// ForwardCap > 0: deferral makes a token's fate depend on its bucket
+	// position, so buckets must exist.
+	StoreCapped
+	// StoreEager is the staged-exchange store (staging-is-the-store):
+	// every in-flight token is moved one step per round through the
+	// sharded scatter. Valid only when ForwardCap == 0. Kept selectable
+	// for benchmarks and differential testing against StoreLazy.
+	StoreEager
+	// StoreLazy is the lazy trajectory evaluator: no per-token state is
+	// kept between rounds at all — only a T-deep ring of per-round inputs
+	// — and each birth cohort's full trajectory is replayed once, at its
+	// delivery round. Valid only when ForwardCap == 0.
+	StoreLazy
+)
+
 // Params configures the soup.
 type Params struct {
 	// WalksPerRound is the number of walks each node starts per round
@@ -76,6 +103,10 @@ type Params struct {
 	// the standard guard against the vanishing-probability bipartite draw
 	// of the random topology; it roughly doubles the mixing length.
 	Lazy bool
+	// Store selects the token-store representation. The zero value
+	// (StoreAuto) resolves to StoreCapped when ForwardCap > 0 and
+	// StoreLazy otherwise; NewSoup panics on an invalid combination.
+	Store StoreKind
 }
 
 // DefaultParams returns soup parameters for network size n, following the
@@ -132,11 +163,18 @@ type Soup struct {
 	// slot-major materialized store when a forwarding cap is set, the
 	// staging-is-the-store fast path when unlimited. parity selects which
 	// side of the double-buffered staging the current round writes.
-	// countsMu serializes the uncapped path's lazy per-slot count
-	// materialization so TokensAt stays safe to call concurrently.
+	// countsMu serializes the eager path's lazy per-slot count
+	// materialization and the lazy evaluator's query-time forcing, so
+	// TokensAt/Metrics stay safe to call concurrently.
 	capped   bool
 	parity   int
 	countsMu sync.Mutex
+
+	// lz is non-nil iff the resolved store is StoreLazy (lazy.go): the
+	// T-deep ring of per-round inputs replacing all between-round token
+	// state. capped and lz are mutually exclusive; both false/nil means
+	// StoreEager.
+	lz *lazySoup
 
 	workers int
 }
@@ -153,6 +191,24 @@ func NewSoup(e *simnet.Engine, p Params, workers int) *Soup {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	switch p.Store {
+	case StoreAuto:
+		if p.ForwardCap > 0 {
+			p.Store = StoreCapped
+		} else {
+			p.Store = StoreLazy
+		}
+	case StoreCapped:
+		if p.ForwardCap <= 0 {
+			panic("walks: StoreCapped requires ForwardCap > 0")
+		}
+	case StoreEager, StoreLazy:
+		if p.ForwardCap > 0 {
+			panic("walks: a forwarding cap requires StoreCapped (deferral needs materialized buckets)")
+		}
+	default:
+		panic("walks: unknown StoreKind")
+	}
 	n := e.N()
 	s := &Soup{
 		p:       p,
@@ -160,12 +216,17 @@ func NewSoup(e *simnet.Engine, p Params, workers int) *Soup {
 		seed:    e.Config().ProtocolSeed,
 		shards:  make([]soupShard, shard.Count),
 		slotLoc: shard.LocTable(n),
-		rowLoc:  make([]uint32, n*e.Degree()),
-		capped:  p.ForwardCap > 0,
+		capped:  p.Store == StoreCapped,
 		workers: workers,
+	}
+	if p.Store != StoreLazy {
+		s.rowLoc = make([]uint32, n*e.Degree())
 	}
 	for i := range s.shards {
 		s.shards[i].init(i, n)
+	}
+	if p.Store == StoreLazy {
+		s.lz = newLazySoup(e, s)
 	}
 	return s
 }
@@ -173,8 +234,16 @@ func NewSoup(e *simnet.Engine, p Params, workers int) *Soup {
 // Params returns the soup parameters.
 func (s *Soup) Params() Params { return s.p }
 
-// Metrics returns a snapshot of the counters.
-func (s *Soup) Metrics() Metrics { return s.m }
+// Metrics returns a snapshot of the counters. On the lazy store this
+// forces evaluation of every in-flight cohort up to the last stepped
+// round first, so the snapshot is exact: an event (death, move,
+// generation) is included iff it occurred in a round that has run.
+func (s *Soup) Metrics() Metrics {
+	if s.lz != nil {
+		s.lzSync(false)
+	}
+	return s.m
+}
 
 // Samples returns the walks that completed at slot this round: a view into
 // the per-shard sample store, valid until the next StepRound; do not
@@ -186,21 +255,27 @@ func (s *Soup) Samples(slot int) []Sample {
 }
 
 // TokensAt returns the number of in-flight tokens currently held at slot.
-// O(1) on the capped path (an offset-index difference); on the uncapped
-// path the per-slot counts materialize lazily from the staged store on
-// the first query after a round, then are O(1) too.
+// O(1) on the capped path (an offset-index difference); on the eager and
+// lazy paths the per-slot counts materialize on the first query after a
+// round (for the lazy store this forces partial evaluation of every
+// in-flight cohort up to the last stepped round), then are O(1) too.
 func (s *Soup) TokensAt(slot int) int {
 	sh, local := shard.Loc(s.slotLoc[slot])
 	ss := &s.shards[sh]
 	if s.capped {
 		return int(ss.off[local+1] - ss.off[local])
 	}
-	s.materializeCounts(sh)
+	if s.lz != nil {
+		s.lzSync(true)
+	} else {
+		s.materializeCounts(sh)
+	}
 	return int(ss.counts[local])
 }
 
 // TotalTokens returns the number of in-flight tokens network-wide. O(1)
-// in n: a sum over the per-shard store (or staging-buffer) lengths.
+// in n: a sum over the per-shard store (or staging-buffer, or cached
+// cohort) lengths; the lazy store forces cohort evaluation first.
 func (s *Soup) TotalTokens() int {
 	t := 0
 	if s.capped {
@@ -208,6 +283,9 @@ func (s *Soup) TotalTokens() int {
 			t += len(s.shards[i].tok)
 		}
 		return t
+	}
+	if s.lz != nil {
+		return s.lzTotalTokens()
 	}
 	in := s.inboxParity()
 	for i := range s.shards {
@@ -218,9 +296,10 @@ func (s *Soup) TotalTokens() int {
 	return t
 }
 
-// AppendTokens appends slot's in-flight tokens, in canonical bucket order,
-// to dst and returns it. Used by tests and experiment introspection, not
-// by the hot path.
+// AppendTokens appends slot's in-flight tokens, in canonical bucket order
+// (the lazy store uses its own cohort-major canonical order), to dst and
+// returns it. Used by tests and experiment introspection, not by the hot
+// path.
 func (s *Soup) AppendTokens(slot int, dst []Token) []Token {
 	sh, local := shard.Loc(s.slotLoc[slot])
 	ss := &s.shards[sh]
@@ -229,6 +308,9 @@ func (s *Soup) AppendTokens(slot int, dst []Token) []Token {
 			dst = append(dst, t.token())
 		}
 		return dst
+	}
+	if s.lz != nil {
+		return s.lzAppendTokens(slot, dst)
 	}
 	return s.appendVirtual(sh, local, dst)
 }
@@ -246,10 +328,13 @@ func (s *Soup) Inject(e *simnet.Engine, slot, count, round int) int {
 		count = max(limit, 0)
 	}
 	if count > 0 {
-		if s.capped {
+		switch {
+		case s.capped:
 			s.shards[sh].insert(local, count, e.IDAt(slot), int32(round),
 				uint16(base), uint16(s.p.WalkLength))
-		} else {
+		case s.lz != nil:
+			s.lzInject(slot, count, e.IDAt(slot), int32(round), uint16(base))
+		default:
 			s.injectUncapped(sh, local, count, e.IDAt(slot), int32(round),
 				uint16(base), uint16(s.p.WalkLength))
 		}
@@ -276,8 +361,14 @@ func stepHash(seed uint64, round int, src simnet.NodeID, birth int32, serial uin
 // synchronous step — but all three phases are fused into the single
 // sharded scatter pass (store.go): the per-slot scatter kills tokens at
 // replaced slots, emits the slot's fresh tokens after its stored ones, and
-// steps everything in one sweep, so no serial O(n) prelude remains.
+// steps everything in one sweep, so no serial O(n) prelude remains. The
+// lazy store (lazy.go) goes further: it records the round's inputs and
+// replays only the one cohort whose delivery falls due this round.
 func (s *Soup) StepRound(e *simnet.Engine, round int) {
+	if s.lz != nil {
+		s.stepLazy(e, round)
+		return
+	}
 	if s.capped {
 		s.scatter(e, round)
 	} else {

@@ -30,7 +30,7 @@ if [[ "${1:-}" == "-short" ]]; then
 fi
 BENCHTIME="${BENCHTIME:-20x}"
 MAX_STEADY_ALLOCS="${MAX_STEADY_ALLOCS:-256}"
-GATED_BENCHES="${GATED_BENCHES:-^(RouteOnly|SoupOnly)\\/n=4096\$}"
+GATED_BENCHES="${GATED_BENCHES:-^(RouteOnly|SoupOnly|SoupOnlyEager)\\/n=4096\$}"
 OUT="${OUT:-BENCH_roundloop.json}"
 RAW="$(mktemp)"
 PREV="$(mktemp)"
@@ -54,7 +54,7 @@ awk -v go_version="$(go version | awk '{print $3}')" \
     -v max_allocs="$MAX_STEADY_ALLOCS" \
     -v gated="$GATED_BENCHES" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
-/^Benchmark(RouteOnly|SoupOnly|FullRound)\// {
+/^Benchmark(RouteOnly|SoupOnly|SoupOnlyEager|FullRound)\// {
   name = $1
   sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
   ns = allocs = bytes = moves = "null"
