@@ -35,6 +35,15 @@ func main() {
 	dump := flag.Bool("dump", false, "print the resolved spec as JSON and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "usage: scenario [flags]\n\nflags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(out, "\nbuiltin scenarios (-name):\n")
+		for _, d := range scenario.Describe() {
+			fmt.Fprintf(out, "  %-14s %s\n", d[0], d[1])
+		}
+	}
 	flag.Parse()
 
 	if *list {

@@ -30,6 +30,7 @@ package dynp2p
 import (
 	"dynp2p/internal/churn"
 	"dynp2p/internal/expander"
+	"dynp2p/internal/overlay"
 	"dynp2p/internal/protocol"
 	"dynp2p/internal/simnet"
 	"dynp2p/internal/walks"
@@ -53,6 +54,25 @@ type NodeID = simnet.NodeID
 // (re-exported; see internal/churn for implementations, including the
 // time-varying Schedule/Ramp/Burst laws used by scenarios).
 type Law = churn.Law
+
+// EdgeMode selects how the topology's edges evolve between rounds
+// (re-exported; see internal/expander).
+type EdgeMode = expander.EdgeMode
+
+// Edge dynamics modes (re-exported). EdgesSelfHealing replaces the
+// oracle with the peer-maintained repair of internal/overlay: live nodes
+// detect dead neighbors and rebuild their adjacency from walk samples.
+const (
+	EdgesRerandomize    = expander.Rerandomize
+	EdgesStatic         = expander.Static
+	EdgesPeriodic       = expander.Periodic
+	EdgesRingPlusRandom = expander.RingPlusRandom
+	EdgesSelfHealing    = expander.SelfHealing
+)
+
+// ParseEdgeMode resolves an edge-mode name ("rerandomize", "static",
+// "periodic", "ring+random", "self-healing") to its EdgeMode.
+func ParseEdgeMode(s string) (EdgeMode, error) { return expander.ParseEdgeMode(s) }
 
 // FaultModel perturbs message delivery at routing time (re-exported).
 type FaultModel = simnet.FaultModel
@@ -99,8 +119,20 @@ type Config struct {
 	// fixed order (see DESIGN.md §6). TestWorkerCountIndependence
 	// enforces this.
 	Workers int
+	// Edges selects the topology's edge dynamics. The zero value is
+	// EdgesRerandomize (the oracle draws a fresh expander every round).
+	// EdgesSelfHealing turns the oracle off after round 0 and lets the
+	// peers maintain the expander themselves (internal/overlay).
+	Edges EdgeMode
+	// EdgePeriod is the re-randomisation period for EdgesPeriodic.
+	EdgePeriod int
+	// SpectralEvery estimates the topology's second eigenvalue λ every
+	// k rounds (0 = off), surfaced in Stats.Overlay. Telemetry only: it
+	// never affects the simulation's behaviour.
+	SpectralEvery int
 	// StaticEdges freezes the topology (edges stop changing; churn still
-	// replaces occupants). Default false: edges re-randomise every round.
+	// replaces occupants). Deprecated shorthand for Edges: EdgesStatic,
+	// honoured when Edges is left at its zero value.
 	StaticEdges bool
 }
 
@@ -112,9 +144,10 @@ type Tunables struct {
 
 // Stats is a combined metrics snapshot.
 type Stats struct {
-	Engine simnet.Metrics
-	Soup   walks.Metrics
-	Proto  protocol.Counters
+	Engine  simnet.Metrics
+	Soup    walks.Metrics
+	Proto   protocol.Counters
+	Overlay overlay.Metrics
 }
 
 // Network is a running simulation of the paper's system.
@@ -122,6 +155,7 @@ type Network struct {
 	cfg  Config
 	e    *simnet.Engine
 	soup *walks.Soup
+	ov   *overlay.Overlay
 	h    *protocol.Handler
 }
 
@@ -149,12 +183,12 @@ func NewCustom(cfg Config, adjust func(*walks.Params, *protocol.Params)) *Networ
 	if cfg.ChurnLaw != nil {
 		law = cfg.ChurnLaw
 	}
-	mode := expander.Rerandomize
-	if cfg.StaticEdges {
-		mode = expander.Static
+	mode := cfg.Edges
+	if cfg.StaticEdges && mode == EdgesRerandomize {
+		mode = EdgesStatic
 	}
 	e := simnet.New(simnet.Config{
-		N: cfg.N, Degree: cfg.Degree, EdgeMode: mode,
+		N: cfg.N, Degree: cfg.Degree, EdgeMode: mode, EdgePeriod: cfg.EdgePeriod,
 		AdversarySeed: cfg.Seed, ProtocolSeed: cfg.Seed + 1,
 		Strategy: cfg.Strategy, Law: law, Fault: cfg.Fault, Workers: cfg.Workers,
 	})
@@ -166,8 +200,14 @@ func NewCustom(cfg Config, adjust func(*walks.Params, *protocol.Params)) *Networ
 	}
 	soup := walks.NewSoup(e, wp, cfg.Workers)
 	e.AddHook(soup)
+	// The overlay hook must follow the soup: repair consumes the round's
+	// fresh samples and must rewire only after the soup's snapshot. It is
+	// always registered (repairs are inert outside EdgesSelfHealing) so
+	// SetEdgeMode can switch topologies mid-run.
+	ov := overlay.New(e, soup, overlay.Config{SpectralEvery: cfg.SpectralEvery})
+	e.AddHook(ov)
 	h := protocol.NewHandler(e, soup, pp)
-	return &Network{cfg: cfg, e: e, soup: soup, h: h}
+	return &Network{cfg: cfg, e: e, soup: soup, ov: ov, h: h}
 }
 
 // Run advances the simulation by the given number of rounds.
@@ -210,9 +250,18 @@ func (nw *Network) Results() []Result { return nw.h.DrainResults() }
 // between Run calls; scenario phases use this to vary network quality.
 func (nw *Network) SetFault(f FaultModel) { nw.e.SetFault(f) }
 
+// SetEdgeMode switches the topology's edge dynamics mid-run (period is
+// only used by EdgesPeriodic; pass 0 to keep the current period). Call
+// between Run calls; scenario phases use this to pit oracle-maintained
+// and self-maintained topologies against the same churn timeline.
+func (nw *Network) SetEdgeMode(mode EdgeMode, period int) { nw.e.SetEdgeMode(mode, period) }
+
 // Stats returns a combined metrics snapshot.
 func (nw *Network) Stats() Stats {
-	return Stats{Engine: nw.e.Metrics(), Soup: nw.soup.Metrics(), Proto: nw.h.Counters()}
+	return Stats{
+		Engine: nw.e.Metrics(), Soup: nw.soup.Metrics(),
+		Proto: nw.h.Counters(), Overlay: nw.ov.Metrics(),
+	}
 }
 
 // CopyCount reports how many nodes currently hold a copy (or erasure
@@ -261,3 +310,7 @@ func (nw *Network) Handler() *protocol.Handler { return nw.h }
 
 // Soup exposes the walk soup for advanced introspection.
 func (nw *Network) Soup() *walks.Soup { return nw.soup }
+
+// Overlay exposes the self-healing overlay for advanced introspection
+// (always present; repairs are active only under EdgesSelfHealing).
+func (nw *Network) Overlay() *overlay.Overlay { return nw.ov }

@@ -6,6 +6,7 @@ import (
 
 	"dynp2p/internal/churn"
 	"dynp2p/internal/expander"
+	"dynp2p/internal/overlay"
 	"dynp2p/internal/simnet"
 	"dynp2p/internal/walks"
 )
@@ -128,6 +129,40 @@ func BenchmarkSoupOnlyEager(b *testing.B) {
 			if s := b.Elapsed().Seconds(); s > 0 {
 				b.ReportMetric(float64(moves)/s, "token-moves/s")
 			}
+		})
+	}
+}
+
+// BenchmarkOverlayRepair measures one engine round of soup plus
+// self-healing topology repair under the paper's churn law (C=1,
+// δ=0.5): the walk exchange, severing every churned slot's edges, and
+// healing the dangling ports through sampled splices. The marginal
+// repair cost over SoupOnly is the overlay's budget; like the other
+// steady-state engine paths it must stay (near-)allocation-free, which
+// the n=4096 row gates in scripts/bench.sh.
+func BenchmarkOverlayRepair(b *testing.B) {
+	for _, n := range sizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e := simnet.New(simnet.Config{
+				N: n, Degree: 8, EdgeMode: expander.SelfHealing,
+				AdversarySeed: 1, ProtocolSeed: 2, Law: churn.PaperLaw(1, 0.5),
+			})
+			p := walks.DefaultParams(n)
+			soup := walks.NewSoup(e, p, 0)
+			e.AddHook(soup)
+			ov := overlay.New(e, soup, overlay.Config{})
+			e.AddHook(ov)
+			e.Run(simnet.NopHandler{}, p.WalkLength+16)
+			start := ov.Metrics()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.RunRound(simnet.NopHandler{})
+			}
+			b.StopTimer()
+			m := ov.Metrics()
+			repairs := m.Splices + m.DirectPairs - start.Splices - start.DirectPairs
+			b.ReportMetric(float64(repairs)/float64(b.N), "repairs/round")
 		})
 	}
 }

@@ -13,6 +13,10 @@
 //     occupants change) — the gentlest topology;
 //   - RingPlusRandom: a deterministic odd cycle plus random perfect
 //     matchings, guaranteeing non-bipartiteness without laziness.
+//   - SelfHealing: the oracle builds only the round-0 graph and then
+//     never touches an edge again — the live nodes themselves maintain
+//     the expander by local, sample-driven repair (internal/overlay).
+//     Step is a no-op in this mode; the repair runs as a round hook.
 //
 // Random d-regular permutation-model graphs are non-bipartite and expanding
 // w.h.p.; because a vanishing-probability bipartite draw would break the
@@ -23,6 +27,7 @@ package expander
 
 import (
 	"fmt"
+	"strings"
 
 	"dynp2p/internal/graph"
 	"dynp2p/internal/rng"
@@ -37,7 +42,16 @@ const (
 	Static
 	Periodic
 	RingPlusRandom
+	// SelfHealing disables the oracle after round 0: the topology only
+	// changes through the peer-maintained repair of internal/overlay.
+	SelfHealing
 )
+
+// Modes returns every valid edge mode, in declaration order. Tests and
+// CLIs enumerate it so a newly added mode cannot be missed.
+func Modes() []EdgeMode {
+	return []EdgeMode{Rerandomize, Static, Periodic, RingPlusRandom, SelfHealing}
+}
 
 func (m EdgeMode) String() string {
 	switch m {
@@ -49,8 +63,30 @@ func (m EdgeMode) String() string {
 		return "periodic"
 	case RingPlusRandom:
 		return "ring+random"
+	case SelfHealing:
+		return "self-healing"
 	default:
 		return fmt.Sprintf("edgemode(%d)", int(m))
+	}
+}
+
+// ParseEdgeMode is the inverse of String: it resolves a mode name
+// (case-insensitive, with the obvious punctuation-free aliases) to its
+// EdgeMode. JSON scenario specs and CLI flags select topologies with it.
+func ParseEdgeMode(s string) (EdgeMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "rerandomize":
+		return Rerandomize, nil
+	case "static":
+		return Static, nil
+	case "periodic":
+		return Periodic, nil
+	case "ring+random", "ringplusrandom", "ring-random":
+		return RingPlusRandom, nil
+	case "self-healing", "selfhealing":
+		return SelfHealing, nil
+	default:
+		return 0, fmt.Errorf("expander: unknown edge mode %q (want one of %v)", s, Modes())
 	}
 }
 
@@ -114,9 +150,26 @@ func (d *Dynamic) Step(round int) {
 		if round%d.cfg.Period == 0 {
 			d.g.FillRandomRegular(d.r)
 		}
-	case Static:
-		// Edges never change.
+	case Static, SelfHealing:
+		// The oracle never touches edges again. Under SelfHealing the
+		// graph still evolves — through overlay repair, not here.
 	default:
 		panic("expander: unknown edge mode")
 	}
+}
+
+// SetMode switches the edge dynamics mid-run (scenario phases compare
+// oracle-maintained and self-maintained topologies inside one timeline).
+// The current graph is kept as-is: an oracle mode resumes rewriting it on
+// its own schedule from the next Step, and SelfHealing freezes it for the
+// overlay to take over. The oracle's RNG stream is shared across modes,
+// so a run with mode switches remains deterministic in the seed.
+func (d *Dynamic) SetMode(mode EdgeMode, period int) {
+	if period >= 1 {
+		d.cfg.Period = period
+	}
+	if mode == Periodic && d.cfg.Period < 1 {
+		panic("expander: Periodic mode needs Period >= 1")
+	}
+	d.cfg.Mode = mode
 }

@@ -130,9 +130,129 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestModeStrings(t *testing.T) {
-	for _, m := range []EdgeMode{Rerandomize, Static, Periodic, RingPlusRandom, EdgeMode(42)} {
+	for _, m := range append(Modes(), EdgeMode(42)) {
 		if m.String() == "" {
 			t.Fatal("empty mode string")
+		}
+	}
+}
+
+// TestParseEdgeModeRoundTrip is the exhaustive String ⇄ ParseEdgeMode
+// round trip over every mode Modes() declares: a newly added mode that
+// misses either direction fails here.
+func TestParseEdgeModeRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range Modes() {
+		s := m.String()
+		if seen[s] {
+			t.Fatalf("duplicate mode string %q", s)
+		}
+		seen[s] = true
+		got, err := ParseEdgeMode(s)
+		if err != nil {
+			t.Fatalf("ParseEdgeMode(%q): %v", s, err)
+		}
+		if got != m {
+			t.Fatalf("ParseEdgeMode(%q) = %v, want %v", s, got, m)
+		}
+	}
+	if m, err := ParseEdgeMode("  Self-Healing "); err != nil || m != SelfHealing {
+		t.Fatalf("case/space-insensitive parse failed: %v, %v", m, err)
+	}
+	if _, err := ParseEdgeMode("mesh"); err == nil {
+		t.Fatal("unknown mode did not error")
+	}
+	if _, err := ParseEdgeMode(EdgeMode(42).String()); err == nil {
+		t.Fatal("invalid-mode String() should not parse back")
+	}
+}
+
+// TestPeriodicStepBoundaries pins the Periodic schedule at its edges:
+// nothing changes on the first round of a period, the change lands
+// exactly on the period round, and the round after a change is quiet
+// again (the "post-churn" round a fresh occupant first steps through).
+// Period=1 degenerates to Rerandomize.
+func TestPeriodicStepBoundaries(t *testing.T) {
+	d := New(Config{N: 300, Degree: 6, Mode: Periodic, Period: 4}, 21)
+	snap := func() []int32 { return append([]int32(nil), d.Graph().Neighbors(2)...) }
+	same := func(a, b []int32) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	prev := snap()
+	for round := 1; round <= 12; round++ {
+		d.Step(round)
+		cur := snap()
+		if onBoundary := round%4 == 0; onBoundary == same(prev, cur) {
+			t.Fatalf("round %d (period 4): boundary=%v but changed=%v", round, onBoundary, !same(prev, cur))
+		}
+		prev = cur
+	}
+
+	every := New(Config{N: 300, Degree: 6, Mode: Periodic, Period: 1}, 22)
+	prev = append([]int32(nil), every.Graph().Neighbors(2)...)
+	for round := 1; round <= 3; round++ {
+		every.Step(round)
+		cur := append([]int32(nil), every.Graph().Neighbors(2)...)
+		if same(prev, cur) {
+			t.Fatalf("period 1 round %d: topology did not change", round)
+		}
+		prev = cur
+	}
+}
+
+// TestSelfHealingStepIsInert: under SelfHealing the oracle must never
+// touch an edge after round 0 — the overlay owns them.
+func TestSelfHealingStepIsInert(t *testing.T) {
+	d := New(Config{N: 100, Degree: 6, Mode: SelfHealing}, 23)
+	snapshot := append([]int32(nil), d.Graph().Neighbors(0)...)
+	for round := 1; round <= 10; round++ {
+		d.Step(round)
+		for i, w := range d.Graph().Neighbors(0) {
+			if snapshot[i] != w {
+				t.Fatal("oracle rewired an edge in self-healing mode")
+			}
+		}
+	}
+	if err := d.Graph().CheckRegular(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetModeSwitches: a Dynamic switched from Static to Rerandomize
+// resumes rewiring, and back to SelfHealing freezes again.
+func TestSetModeSwitches(t *testing.T) {
+	d := New(Config{N: 200, Degree: 6, Mode: Static}, 24)
+	snap := func() []int32 { return append([]int32(nil), d.Graph().Neighbors(0)...) }
+	before := snap()
+	d.Step(1)
+	after := snap()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("static mode rewired")
+		}
+	}
+	d.SetMode(Rerandomize, 0)
+	d.Step(2)
+	changed := false
+	for i, w := range snap() {
+		if before[i] != w {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("rerandomize after SetMode did not rewire")
+	}
+	frozen := snap()
+	d.SetMode(SelfHealing, 0)
+	d.Step(3)
+	for i, w := range snap() {
+		if frozen[i] != w {
+			t.Fatal("self-healing mode rewired")
 		}
 	}
 }

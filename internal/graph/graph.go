@@ -202,9 +202,17 @@ func (g *Graph) IsBipartite() bool {
 // all-ones eigenvector. Smaller λ means faster mixing; the paper assumes a
 // fixed bound λ < 1. iters controls accuracy (30–60 is ample for tests).
 func (g *Graph) SpectralGapEstimate(r *rng.Stream, iters int) float64 {
+	return g.SpectralGapEstimateScratch(r, iters, make([]float64, g.n), make([]float64, g.n))
+}
+
+// SpectralGapEstimateScratch is SpectralGapEstimate with caller-provided
+// iteration vectors (each of length N), so per-round telemetry (the
+// self-healing overlay measures λ on a cadence) can run allocation-free.
+func (g *Graph) SpectralGapEstimateScratch(r *rng.Stream, iters int, x, y []float64) float64 {
 	n := g.n
-	x := make([]float64, n)
-	y := make([]float64, n)
+	if len(x) != n || len(y) != n {
+		panic("graph: spectral scratch vectors must have length N")
+	}
 	for i := range x {
 		x[i] = r.Float64() - 0.5
 	}

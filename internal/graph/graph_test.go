@@ -211,3 +211,40 @@ func BenchmarkMicroFillRandomRegular(b *testing.B) {
 		g.FillRandomRegular(r)
 	}
 }
+
+// TestSpectralGapOnRingPlusRandom: the deterministic-odd-cycle
+// construction must still be an expander (the ring contributes only 2 of
+// d ports; the random matchings dominate the spectrum) at both parities
+// of n, and successive refills must stay expanding.
+func TestSpectralGapOnRingPlusRandom(t *testing.T) {
+	for _, n := range []int{501, 1024} {
+		g := New(n, 8)
+		r := rng.New(31)
+		probe := rng.New(5)
+		for fill := 0; fill < 3; fill++ {
+			g.FillRingPlusRandom(r)
+			if err := g.CheckRegular(); err != nil {
+				t.Fatalf("n=%d fill %d: %v", n, fill, err)
+			}
+			lambda := g.SpectralGapEstimate(probe, 50)
+			if lambda > 0.85 {
+				t.Fatalf("n=%d fill %d: lambda %v too large for ring+random", n, fill, lambda)
+			}
+			if lambda < 0.3 {
+				t.Fatalf("n=%d fill %d: lambda %v implausibly small", n, fill, lambda)
+			}
+		}
+	}
+}
+
+// TestSpectralGapScratchValidation: the scratch variant must reject
+// wrong-length vectors rather than silently mis-estimate.
+func TestSpectralGapScratchValidation(t *testing.T) {
+	g := RandomRegular(64, 4, rng.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short scratch vectors did not panic")
+		}
+	}()
+	g.SpectralGapEstimateScratch(rng.New(2), 10, make([]float64, 63), make([]float64, 64))
+}

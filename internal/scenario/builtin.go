@@ -115,6 +115,32 @@ var builtins = []builtin{
 		},
 	},
 	{
+		name: "topology-storm",
+		desc: "churn bursts against static, oracle, and self-healing topologies",
+		build: func(n int, seed uint64) Spec {
+			T := unit(n)
+			burst := Churn{BurstPeriod: T, BurstWidth: max(1, T/4), BurstCount: max(2, n/12)}
+			calm := Churn{Rate: 0.5}
+			serve := Workload{RetrieveRate: 1}
+			return Spec{
+				Name: "topology-storm", N: n, Seed: seed,
+				// Spectral telemetry every round: the whole point of the
+				// scenario is charting λ as each topology takes the same
+				// punishment.
+				Topology: Topology{Edges: "static", SpectralEvery: 1},
+				Phases: []Phase{
+					{Name: "seed", Rounds: 3 * T, Churn: calm,
+						Load: Workload{StoreRate: 0.5, RetrieveRate: 0.2}},
+					{Name: "static-storm", Rounds: 3 * T, Churn: burst, Load: serve},
+					{Name: "oracle-calm", Rounds: 2 * T, Edges: "rerandomize", Churn: calm, Load: serve},
+					{Name: "oracle-storm", Rounds: 3 * T, Edges: "rerandomize", Churn: burst, Load: serve},
+					{Name: "heal-calm", Rounds: 2 * T, Edges: "self-healing", Churn: calm, Load: serve},
+					{Name: "heal-storm", Rounds: 3 * T, Edges: "self-healing", Churn: burst, Load: serve},
+				},
+			}
+		},
+	},
+	{
 		name: "erasure-lossy",
 		desc: "IDA erasure-coded storage (K=4) over a lossy network",
 		build: func(n int, seed uint64) Spec {

@@ -93,7 +93,12 @@ type PhaseReport struct {
 	Replacements int64 `json:"replacements"`
 	FaultDropped int64 `json:"faultDropped"`
 	Delayed      int64 `json:"delayed"`
-	SLO          SLO   `json:"slo"`
+	// Repairs counts self-healing overlay port-pair repairs during the
+	// phase; LambdaMax is the largest spectral-gap estimate measured in
+	// it (0 when telemetry is off).
+	Repairs   int64   `json:"repairs,omitempty"`
+	LambdaMax float64 `json:"lambdaMax,omitempty"`
+	SLO       SLO     `json:"slo"`
 }
 
 // Report is the final result of a scenario run. It is deterministic in
@@ -139,6 +144,25 @@ func (r *Report) Fprint(w io.Writer) {
 		fmt.Fprintf(w, "load: %.1f bits/node/round mean, %d bits max per node-round\n",
 			float64(st.Engine.BitsSent)/float64(r.Spec.N)/float64(st.Engine.Rounds),
 			st.Engine.MaxNodeBitsRound)
+	}
+	if ov := st.Overlay; ov.PortsSevered > 0 || ov.SpectralRounds > 0 {
+		fmt.Fprintf(w, "topology: %d edges severed by churn, %d sample splices, %d direct pairs",
+			ov.PortsSevered/2, ov.Splices, ov.DirectPairs)
+		if ov.SpectralRounds > 0 {
+			fmt.Fprintf(w, "; λ last %.3f, max %.3f (%d rounds measured)",
+				ov.Lambda, ov.LambdaMax, ov.SpectralRounds)
+		}
+		fmt.Fprintln(w)
+		// Per-phase spectral maxima, for runs that switch topologies.
+		if ov.SpectralRounds > 0 {
+			fmt.Fprintf(w, "λmax by phase:")
+			for _, p := range r.Phases {
+				if p.LambdaMax > 0 {
+					fmt.Fprintf(w, " %s=%.3f", p.Name, p.LambdaMax)
+				}
+			}
+			fmt.Fprintln(w)
+		}
 	}
 	soupTotal := st.Soup.Completed + st.Soup.Died + st.Soup.Overdue
 	if soupTotal > 0 {

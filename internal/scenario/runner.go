@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"dynp2p"
+	"dynp2p/internal/expander"
 	"dynp2p/internal/rng"
 )
 
@@ -31,6 +32,11 @@ type TraceRecord struct {
 	Msgs      int64  `json:"msgs"`      // messages sent this round
 	FaultDrop int64  `json:"faultDrop"` // fault-model drops this round
 	Delayed   int64  `json:"delayed"`   // fault-model delays this round
+	// Repairs counts overlay port-pair repairs this round (self-healing
+	// topologies only); Lambda is the spectral-gap estimate, present only
+	// on rounds where the topology block's cadence measured one.
+	Repairs int64    `json:"repairs,omitempty"`
+	Lambda  *float64 `json:"lambda,omitempty"`
 }
 
 // request tracks one in-flight retrieval issued by the runner.
@@ -48,12 +54,14 @@ type reqKey struct {
 
 // segMeta records a finished timeline segment and its engine-metric deltas.
 type segMeta struct {
-	name   string
-	rounds int
-	phase  int // index into Spec.Phases, or -1 for warm-up/drain
-	repl   int64
-	fdrop  int64
-	fdelay int64
+	name    string
+	rounds  int
+	phase   int // index into Spec.Phases, or -1 for warm-up/drain
+	repl    int64
+	fdrop   int64
+	fdelay  int64
+	repairs int64
+	lamMax  float64 // largest λ measured during the segment (0 = none)
 }
 
 type runner struct {
@@ -89,11 +97,17 @@ func Run(spec Spec, opt Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	edges, err := spec.edgeMode()
+	if err != nil {
+		return nil, err
+	}
 	nw := dynp2p.New(dynp2p.Config{
 		N: spec.N, Degree: spec.Degree, Seed: spec.Seed,
 		ChurnLaw: spec.schedule(), Strategy: strat,
 		ErasureK: spec.ErasureK,
 		Fault:    spec.Phases[0].Fault.model(),
+		Edges:    edges, EdgePeriod: spec.Topology.Period,
+		SpectralEvery: spec.Topology.SpectralEvery,
 	})
 	r := &runner{
 		spec:        spec,
@@ -112,6 +126,15 @@ func Run(spec Spec, opt Options) (*Report, error) {
 	for i := range spec.Phases {
 		p := &spec.Phases[i]
 		nw.SetFault(p.Fault.model())
+		if p.Edges != "" {
+			// Validated by spec.Validate; a phase-level switch persists
+			// until another phase overrides it.
+			m, err := expander.ParseEdgeMode(p.Edges)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %q phase %d: %w", spec.Name, i, err)
+			}
+			nw.SetEdgeMode(m, spec.Topology.Period)
+		}
 		r.runSegment(i, p.Name, p.Rounds, p.Load)
 	}
 	// Drain: workload stops, the last phase's faults persist, churn goes
@@ -134,10 +157,14 @@ func Run(spec Spec, opt Options) (*Report, error) {
 // requests to spec phase pi (-1 = none).
 func (r *runner) runSegment(pi int, name string, rounds int, load Workload) {
 	start := r.nw.Stats()
+	var lamMax float64
 	for i := 0; i < rounds; i++ {
 		stores := r.issueStores(pi, load.StoreRate)
 		retrieves := r.issueRetrieves(pi, load.RetrieveRate)
 		r.nw.Run(1)
+		if ovm := r.nw.Overlay().Metrics(); ovm.LambdaRound == r.nw.Round()-1 && ovm.Lambda > lamMax {
+			lamMax = ovm.Lambda
+		}
 		done, ok := r.drainResults()
 		lost := r.reapLost()
 		if r.trace != nil {
@@ -150,6 +177,9 @@ func (r *runner) runSegment(pi int, name string, rounds int, load Workload) {
 		repl:   end.Engine.Replacements - start.Engine.Replacements,
 		fdrop:  end.Engine.MsgsFaultDropped - start.Engine.MsgsFaultDropped,
 		fdelay: end.Engine.MsgsDelayed - start.Engine.MsgsDelayed,
+		repairs: end.Overlay.Splices + end.Overlay.DirectPairs -
+			start.Overlay.Splices - start.Overlay.DirectPairs,
+		lamMax: lamMax,
 	})
 }
 
@@ -282,6 +312,12 @@ func (r *runner) writeTrace(phase string, stores, retrieves, done, ok, lost int)
 		Msgs:      cur.Engine.MsgsSent - r.prev.Engine.MsgsSent,
 		FaultDrop: cur.Engine.MsgsFaultDropped - r.prev.Engine.MsgsFaultDropped,
 		Delayed:   cur.Engine.MsgsDelayed - r.prev.Engine.MsgsDelayed,
+		Repairs: cur.Overlay.Splices + cur.Overlay.DirectPairs -
+			r.prev.Overlay.Splices - r.prev.Overlay.DirectPairs,
+	}
+	if cur.Overlay.LambdaRound == rec.Round {
+		l := cur.Overlay.Lambda
+		rec.Lambda = &l
 	}
 	r.prev = cur
 	b, err := json.Marshal(rec)
@@ -302,6 +338,7 @@ func (r *runner) report() *Report {
 		pr := PhaseReport{
 			Name: seg.name, Rounds: seg.rounds,
 			Replacements: seg.repl, FaultDropped: seg.fdrop, Delayed: seg.fdelay,
+			Repairs: seg.repairs, LambdaMax: seg.lamMax,
 		}
 		if seg.phase >= 0 {
 			pr.SLO = r.accums[seg.phase].finalize()

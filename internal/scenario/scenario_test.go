@@ -296,3 +296,128 @@ func TestUnknownBuiltin(t *testing.T) {
 		t.Fatal("unknown builtin accepted")
 	}
 }
+
+// TestTopologyBlock pins the spec's topology block: parsing, defaults,
+// degree override, and validation of edge-mode names at both spec and
+// phase level.
+func TestTopologyBlock(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"name": "topo", "n": 64, "seed": 1,
+		"topology": {"edges": "self-healing", "degree": 6, "spectralEvery": 2},
+		"phases": [
+			{"name": "a", "rounds": 5},
+			{"name": "b", "rounds": 5, "edges": "rerandomize"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Degree != 6 {
+		t.Fatalf("topology degree override not applied: degree=%d", spec.Degree)
+	}
+	if m, err := spec.edgeMode(); err != nil || m.String() != "self-healing" {
+		t.Fatalf("edgeMode = %v, %v", m, err)
+	}
+
+	bad := map[string]string{
+		"bad spec mode":  `{"name":"x","n":64,"topology":{"edges":"mesh"},"phases":[{"name":"p","rounds":5}]}`,
+		"bad phase mode": `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"edges":"mesh"}]}`,
+		"periodic 0":     `{"name":"x","n":64,"topology":{"edges":"periodic"},"phases":[{"name":"p","rounds":5}]}`,
+		"neg spectral":   `{"name":"x","n":64,"topology":{"spectralEvery":-1},"phases":[{"name":"p","rounds":5}]}`,
+	}
+	for what, in := range bad {
+		if _, err := ParseSpec([]byte(in)); err == nil {
+			t.Fatalf("%s: not rejected", what)
+		}
+	}
+}
+
+// TestTopologySwitchAndLambdaTrace runs a two-phase spec that switches
+// from the oracle to self-healing mid-run with per-round spectral
+// telemetry: repairs must happen only after the switch, the trace must
+// carry lambda values, and the phase reports must carry the per-phase
+// spectral maxima.
+func TestTopologySwitchAndLambdaTrace(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"name": "switch", "n": 128, "seed": 3,
+		"topology": {"spectralEvery": 1},
+		"phases": [
+			{"name": "oracle", "rounds": 8, "churn": {"fixed": 4},
+			 "load": {"storeRate": 0.5, "retrieveRate": 0.5}},
+			{"name": "heal", "rounds": 8, "edges": "self-healing", "churn": {"fixed": 4},
+			 "load": {"retrieveRate": 0.5}}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	rep, err := Run(spec, Options{Trace: &trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oracle, heal *PhaseReport
+	for i := range rep.Phases {
+		switch rep.Phases[i].Name {
+		case "oracle":
+			oracle = &rep.Phases[i]
+		case "heal":
+			heal = &rep.Phases[i]
+		}
+	}
+	if oracle == nil || heal == nil {
+		t.Fatal("missing phase reports")
+	}
+	if oracle.Repairs != 0 {
+		t.Fatalf("repairs before the self-healing switch: %d", oracle.Repairs)
+	}
+	if heal.Repairs == 0 {
+		t.Fatal("no repairs after the self-healing switch")
+	}
+	if oracle.LambdaMax <= 0 || oracle.LambdaMax >= 1 || heal.LambdaMax <= 0 || heal.LambdaMax >= 1 {
+		t.Fatalf("implausible per-phase λ maxima: oracle=%v heal=%v", oracle.LambdaMax, heal.LambdaMax)
+	}
+	// Every traced round carries a lambda (spectralEvery=1); repairs
+	// appear only in heal-phase records.
+	lambdas, healRepairs := 0, int64(0)
+	for _, line := range strings.Split(strings.TrimSpace(trace.String()), "\n") {
+		var rec TraceRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if rec.Lambda != nil {
+			lambdas++
+		}
+		if rec.Phase == "oracle" && rec.Repairs != 0 {
+			t.Fatalf("trace shows repairs in oracle phase: %+v", rec)
+		}
+		if rec.Phase == "heal" || rec.Phase == "drain" {
+			healRepairs += rec.Repairs
+		}
+	}
+	if lambdas != rep.Rounds {
+		t.Fatalf("lambda on %d of %d traced rounds (want all: spectralEvery=1)", lambdas, rep.Rounds)
+	}
+	if healRepairs == 0 {
+		t.Fatal("trace shows no repairs in the self-healing window")
+	}
+	var out bytes.Buffer
+	rep.Fprint(&out)
+	if !strings.Contains(out.String(), "λ last") || !strings.Contains(out.String(), "λmax by phase") {
+		t.Fatalf("report missing topology lines:\n%s", out.String())
+	}
+}
+
+// TestPhasePeriodicNeedsPeriod: a phase-level periodic switch without a
+// topology period must be rejected just like the spec-level one (it
+// would otherwise silently run as period 1).
+func TestPhasePeriodicNeedsPeriod(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"name":"x","n":64,
+		"phases":[{"name":"p","rounds":5,"edges":"periodic"}]}`)); err == nil {
+		t.Fatal("phase-level periodic without topology.period not rejected")
+	}
+	if _, err := ParseSpec([]byte(`{"name":"x","n":64,"topology":{"period":3},
+		"phases":[{"name":"p","rounds":5,"edges":"periodic"}]}`)); err != nil {
+		t.Fatalf("phase-level periodic with period rejected: %v", err)
+	}
+}

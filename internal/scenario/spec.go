@@ -28,6 +28,7 @@ import (
 
 	"dynp2p"
 	"dynp2p/internal/churn"
+	"dynp2p/internal/expander"
 	"dynp2p/internal/protocol"
 	"dynp2p/internal/walks"
 )
@@ -59,8 +60,30 @@ type Spec struct {
 	// retrieved with probability ∝ 1/(i+1)^s. Default 0.9 (classic
 	// web-cache skew); use a tiny positive value for ~uniform popularity.
 	ZipfS float64 `json:"zipfS,omitempty"`
+	// Topology selects the run's edge dynamics (default: the oracle
+	// re-randomizing every round) and spectral telemetry cadence.
+	Topology Topology `json:"topology,omitempty"`
 	// Phases is the timeline; phases run in order after a soup warm-up.
 	Phases []Phase `json:"phases"`
+}
+
+// Topology is the spec's topology block: which edge dynamics maintain
+// the expander, at what degree, and how often to measure its spectral
+// gap. Historically both mode and degree were hardwired; specs and
+// builtins now select them.
+type Topology struct {
+	// Edges names the edge dynamics:
+	// rerandomize | static | periodic | ring+random | self-healing.
+	// Empty means rerandomize. Phases may override it mid-run (Phase.Edges).
+	Edges string `json:"edges,omitempty"`
+	// Degree is the expander degree (even); overrides Spec.Degree when
+	// both are set.
+	Degree int `json:"degree,omitempty"`
+	// Period is the re-randomisation period for periodic mode.
+	Period int `json:"period,omitempty"`
+	// SpectralEvery estimates the second eigenvalue λ every k rounds
+	// (0 = off); measured values appear in traces and phase reports.
+	SpectralEvery int `json:"spectralEvery,omitempty"`
 }
 
 // Phase is one segment of the timeline.
@@ -70,6 +93,10 @@ type Phase struct {
 	Churn  Churn    `json:"churn,omitempty"`
 	Load   Workload `json:"load,omitempty"`
 	Fault  Fault    `json:"fault,omitempty"`
+	// Edges, when set, switches the topology's edge dynamics at the
+	// start of this phase (same names as Topology.Edges). Empty keeps
+	// whatever mode is in force — switches persist across later phases.
+	Edges string `json:"edges,omitempty"`
 }
 
 // Churn configures the churn law for one phase. Exactly one shape is
@@ -149,6 +176,9 @@ func (f Fault) model() dynp2p.FaultModel {
 
 // normalize fills defaults in place.
 func (s *Spec) normalize() {
+	if s.Topology.Degree != 0 {
+		s.Degree = s.Topology.Degree
+	}
 	if s.Degree == 0 {
 		s.Degree = 8
 	}
@@ -188,7 +218,25 @@ func (s *Spec) Validate() error {
 	if _, err := s.strategy(); err != nil {
 		return err
 	}
+	if _, err := s.edgeMode(); err != nil {
+		return err
+	}
+	if s.Topology.Period < 0 {
+		return fmt.Errorf("scenario %q: topology period must be >= 0 (got %d)", s.Name, s.Topology.Period)
+	}
+	if s.Topology.SpectralEvery < 0 {
+		return fmt.Errorf("scenario %q: spectralEvery must be >= 0 (got %d)", s.Name, s.Topology.SpectralEvery)
+	}
 	for i, p := range s.Phases {
+		if p.Edges != "" {
+			m, err := expander.ParseEdgeMode(p.Edges)
+			if err != nil {
+				return fmt.Errorf("scenario %q phase %d (%s): %w", s.Name, i, p.Name, err)
+			}
+			if m == expander.Periodic && s.Topology.Period < 1 {
+				return fmt.Errorf("scenario %q phase %d (%s): periodic topology needs topology.period >= 1", s.Name, i, p.Name)
+			}
+		}
 		switch {
 		case p.Rounds <= 0:
 			return fmt.Errorf("scenario %q phase %d (%s): rounds must be > 0", s.Name, i, p.Name)
@@ -208,6 +256,22 @@ func (s *Spec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// edgeMode parses the topology block's Edges field (empty = the oracle
+// default, rerandomize).
+func (s *Spec) edgeMode() (expander.EdgeMode, error) {
+	if s.Topology.Edges == "" {
+		return expander.Rerandomize, nil
+	}
+	m, err := expander.ParseEdgeMode(s.Topology.Edges)
+	if err != nil {
+		return 0, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if m == expander.Periodic && s.Topology.Period < 1 {
+		return 0, fmt.Errorf("scenario %q: periodic topology needs period >= 1", s.Name)
+	}
+	return m, nil
 }
 
 // strategy parses the Strategy field.

@@ -343,6 +343,23 @@ func (e *Engine) Config() Config { return e.cfg }
 // Graph returns the current topology over slots.
 func (e *Engine) Graph() *graph.Graph { return e.topo.Graph() }
 
+// EdgeMode returns the topology's current edge-dynamics mode.
+func (e *Engine) EdgeMode() expander.EdgeMode { return e.cfg.EdgeMode }
+
+// SetEdgeMode switches the topology's edge dynamics mid-run. Call between
+// Run calls; scenario phases use it to pit oracle-maintained and
+// self-maintained topologies against the same churn timeline. Switching
+// to SelfHealing hands the current graph to the overlay hook (which
+// rebuilds its port bookkeeping on activation); switching back lets the
+// oracle resume rewriting edges on its own schedule.
+func (e *Engine) SetEdgeMode(mode expander.EdgeMode, period int) {
+	e.cfg.EdgeMode = mode
+	if period >= 1 {
+		e.cfg.EdgePeriod = period
+	}
+	e.topo.SetMode(mode, period)
+}
+
 // IDAt returns the id occupying slot s.
 func (e *Engine) IDAt(s int) NodeID { return e.ids[s] }
 

@@ -30,7 +30,7 @@ if [[ "${1:-}" == "-short" ]]; then
 fi
 BENCHTIME="${BENCHTIME:-20x}"
 MAX_STEADY_ALLOCS="${MAX_STEADY_ALLOCS:-256}"
-GATED_BENCHES="${GATED_BENCHES:-^(RouteOnly|SoupOnly|SoupOnlyEager)\\/n=4096\$}"
+GATED_BENCHES="${GATED_BENCHES:-^(RouteOnly|SoupOnly|SoupOnlyEager|OverlayRepair)\\/n=4096\$}"
 OUT="${OUT:-BENCH_roundloop.json}"
 RAW="$(mktemp)"
 PREV="$(mktemp)"
@@ -44,7 +44,7 @@ if [[ -f "$OUT" ]]; then
   HAVE_PREV=1
 fi
 
-go test $SHORT -run '^$' -bench 'BenchmarkRouteOnly|BenchmarkSoupOnly|BenchmarkFullRound' \
+go test $SHORT -run '^$' -bench 'BenchmarkRouteOnly|BenchmarkSoupOnly|BenchmarkOverlayRepair|BenchmarkFullRound' \
   -benchmem -benchtime "$BENCHTIME" ./internal/bench | tee "$RAW"
 
 awk -v go_version="$(go version | awk '{print $3}')" \
@@ -54,17 +54,19 @@ awk -v go_version="$(go version | awk '{print $3}')" \
     -v max_allocs="$MAX_STEADY_ALLOCS" \
     -v gated="$GATED_BENCHES" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
-/^Benchmark(RouteOnly|SoupOnly|SoupOnlyEager|FullRound)\// {
+/^Benchmark(RouteOnly|SoupOnly|SoupOnlyEager|OverlayRepair|FullRound)\// {
   name = $1
   sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
   ns = allocs = bytes = moves = "null"
+  repairs = ""
   for (i = 2; i < NF; i++) {
     if ($(i+1) == "ns/op") ns = $i
     if ($(i+1) == "allocs/op") allocs = $i
     if ($(i+1) == "B/op") bytes = $i
     if ($(i+1) == "token-moves/s") moves = $i
+    if ($(i+1) == "repairs/round") repairs = sprintf(", \"repairs_per_round\": %s", $i)
   }
-  rows[++n] = sprintf("    {\"name\": \"%s\", \"ns_per_round\": %s, \"allocs_per_round\": %s, \"bytes_per_round\": %s, \"token_moves_per_s\": %s}", name, ns, allocs, bytes, moves)
+  rows[++n] = sprintf("    {\"name\": \"%s\", \"ns_per_round\": %s, \"allocs_per_round\": %s, \"bytes_per_round\": %s, \"token_moves_per_s\": %s%s}", name, ns, allocs, bytes, moves, repairs)
   if (name ~ gated && allocs != "null" && allocs + 0 > max_allocs + 0) {
     printf "FAIL: %s allocates %s/round, budget is %s\n", name, allocs, max_allocs > "/dev/stderr"
     bad = 1
