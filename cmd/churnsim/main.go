@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"dynp2p"
@@ -29,6 +31,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	idaK := flag.Int("ida", 0, "IDA reconstruction threshold K (0 = replication)")
 	itemLen := flag.Int("itemlen", 256, "item size in bytes")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
 
 	var strat dynp2p.Strategy
@@ -56,6 +60,9 @@ func main() {
 	fmt.Printf("derived: walks/round=%d walk-len=%d committee=%d period=%d tree-depth=%d\n",
 		tun.Walks.WalksPerRound, tun.Walks.WalkLength,
 		tun.Protocol.CommitteeSize, tun.Protocol.Period, tun.Protocol.TreeDepth)
+
+	// Profiling brackets the simulated rounds, not setup or reporting.
+	stopCPU := startCPUProfile(*cpuProfile)
 
 	nw.Run(nw.WarmupRounds())
 
@@ -91,6 +98,8 @@ func main() {
 		nw.Run(remaining)
 	}
 	results = append(results, nw.Results()...)
+	stopCPU()
+	writeHeapProfile(*memProfile)
 
 	ok := 0
 	var lats []float64
@@ -131,3 +140,42 @@ func main() {
 }
 
 func fmtF(v float64) string { return fmt.Sprintf("%g", v) }
+
+// startCPUProfile begins CPU profiling to path ("" = no-op) and returns
+// the stop function.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeHeapProfile writes a post-GC heap profile to path ("" = no-op).
+func writeHeapProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	runtime.GC() // settle the heap so the profile shows live memory
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
+}

@@ -12,12 +12,14 @@
 //	scenario -name lossy -n 2048
 //	scenario -name churn-burst -n 1024 -seed 7 -trace out.jsonl
 //	scenario -spec my.json -trace out.jsonl
+//	scenario -name steady -optrace ops.jsonl -metrics metrics.prom
 //	scenario -name steady -dump          # print the spec JSON and exit
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -31,6 +33,9 @@ func main() {
 	n := flag.Int("n", 1024, "stable network size (builtin scenarios)")
 	seed := flag.Uint64("seed", 1, "simulation seed (builtin scenarios)")
 	tracePath := flag.String("trace", "", "write a per-round JSONL trace to this file")
+	opTracePath := flag.String("optrace", "", "write a per-operation lifecycle JSONL trace to this file")
+	metricsPath := flag.String("metrics", "", "write a final Prometheus-text metrics snapshot to this file")
+	phaseProfPath := flag.String("phaseprof", "", "write a per-round phase-timing JSONL stream to this file")
 	list := flag.Bool("list", false, "list builtin scenarios and exit")
 	dump := flag.Bool("dump", false, "print the resolved spec as JSON and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -80,14 +85,25 @@ func main() {
 	}
 
 	var opt scenario.Options
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
+	for _, out := range []struct {
+		path string
+		dst  *io.Writer
+	}{
+		{*tracePath, &opt.Trace},
+		{*opTracePath, &opt.OpTrace},
+		{*metricsPath, &opt.Metrics},
+		{*phaseProfPath, &opt.PhaseProf},
+	} {
+		if out.path == "" {
+			continue
+		}
+		f, err := os.Create(out.path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer f.Close()
-		opt.Trace = f
+		*out.dst = f
 	}
 
 	// Profiling brackets the run itself (not spec loading or reporting) so

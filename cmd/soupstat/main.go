@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"dynp2p/internal/churn"
 	"dynp2p/internal/expander"
@@ -29,6 +31,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed")
 	lazy := flag.Bool("lazy", false, "use lazy walks (stay-put coin)")
 	store := flag.String("store", "auto", "token store: auto|lazy|eager (auto = lazy trajectory evaluation when uncapped)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
 
 	var law churn.Law = churn.ZeroLaw{}
@@ -60,6 +64,9 @@ func main() {
 	fmt.Printf("n=%d churn=%d/round walk-len=%d walks/node/round=%d lazy=%v store=%s\n",
 		*n, law.PerRound(*n, 0), p.WalkLength, p.WalksPerRound, *lazy, storeName)
 
+	// Profiling brackets the simulated rounds, not setup or reporting.
+	stopCPU := startCPUProfile(*cpuProfile)
+
 	warm := 2 * p.WalkLength
 	e.Run(simnet.NopHandler{}, warm)
 
@@ -77,6 +84,8 @@ func main() {
 			receipts = append(receipts, float64(got))
 		}
 	}
+	stopCPU()
+	writeHeapProfile(*memProfile)
 
 	m := s.Metrics()
 	resolved := m.Completed + m.Died + m.Overdue
@@ -98,4 +107,43 @@ func total(xs []int) int {
 		t += x
 	}
 	return t
+}
+
+// startCPUProfile begins CPU profiling to path ("" = no-op) and returns
+// the stop function.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeHeapProfile writes a post-GC heap profile to path ("" = no-op).
+func writeHeapProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	runtime.GC() // settle the heap so the profile shows live memory
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
 }

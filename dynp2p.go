@@ -33,6 +33,7 @@ import (
 	"dynp2p/internal/overlay"
 	"dynp2p/internal/protocol"
 	"dynp2p/internal/simnet"
+	"dynp2p/internal/telemetry"
 	"dynp2p/internal/walks"
 )
 
@@ -134,6 +135,16 @@ type Config struct {
 	// replaces occupants). Deprecated shorthand for Edges: EdgesStatic,
 	// honoured when Edges is left at its zero value.
 	StaticEdges bool
+	// TraceSampleEvery enables operation-lifecycle tracing: roughly one in
+	// k store/search operations is sampled (deterministically, by hashing
+	// the operation key and issuer against Seed) and its per-round hop and
+	// completion events feed the dynp2p_search_*/dynp2p_store_* histograms.
+	// 1 traces every operation; 0 disables tracing.
+	TraceSampleEvery int
+	// Profile enables the round-phase profiler: wall-clock time per engine
+	// phase (churn/topology/deliver/soup/overlay/handlers/route), exposed
+	// via Network.Profiler(). Timing-only; never affects determinism.
+	Profile bool
 }
 
 // Tunables exposes the derived protocol and walk parameters of a network.
@@ -199,14 +210,20 @@ func NewCustom(cfg Config, adjust func(*walks.Params, *protocol.Params)) *Networ
 		adjust(&wp, &pp)
 	}
 	soup := walks.NewSoup(e, wp, cfg.Workers)
-	e.AddHook(soup)
+	e.AddNamedHook("soup", soup)
 	// The overlay hook must follow the soup: repair consumes the round's
 	// fresh samples and must rewire only after the soup's snapshot. It is
 	// always registered (repairs are inert outside EdgesSelfHealing) so
 	// SetEdgeMode can switch topologies mid-run.
 	ov := overlay.New(e, soup, overlay.Config{SpectralEvery: cfg.SpectralEvery})
-	e.AddHook(ov)
+	e.AddNamedHook("overlay", ov)
 	h := protocol.NewHandler(e, soup, pp)
+	if cfg.TraceSampleEvery > 0 {
+		e.SetTracer(telemetry.NewTracer(e.Telemetry(), cfg.Seed, cfg.TraceSampleEvery))
+	}
+	if cfg.Profile {
+		e.EnableProfiling()
+	}
 	return &Network{cfg: cfg, e: e, soup: soup, ov: ov, h: h}
 }
 
@@ -300,6 +317,18 @@ func (nw *Network) OldestSlot() int {
 
 // IDAt returns the id of the node currently occupying slot.
 func (nw *Network) IDAt(slot int) NodeID { return nw.e.IDAt(slot) }
+
+// Telemetry returns the network's metrics registry: every subsystem's
+// counters, gauges, and histograms, snapshottable between Run calls.
+func (nw *Network) Telemetry() *telemetry.Registry { return nw.e.Telemetry() }
+
+// Tracer returns the operation-lifecycle tracer, or nil when
+// Config.TraceSampleEvery is 0.
+func (nw *Network) Tracer() *telemetry.Tracer { return nw.e.Tracer() }
+
+// Profiler returns the round-phase profiler, or nil when Config.Profile
+// is false.
+func (nw *Network) Profiler() *telemetry.PhaseProfiler { return nw.e.Profiler() }
 
 // Engine exposes the underlying engine for advanced instrumentation
 // (experiments, custom hooks). Most callers never need it.

@@ -176,3 +176,14 @@ func BenchmarkFullRound(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { FullRound(b, n) })
 	}
 }
+
+// BenchmarkFullRoundTelemetry is BenchmarkFullRound with full tracing
+// (sample rate 1) and the round-phase profiler enabled: the telemetry-tax
+// row. scripts/bench.sh gates its deltas against the FullRound row — at
+// most TELEMETRY_MAX_NS_PCT slower and TELEMETRY_MAX_ALLOC_DELTA extra
+// allocations per round.
+func BenchmarkFullRoundTelemetry(b *testing.B) {
+	for _, n := range sizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { FullRoundTelemetry(b, n) })
+	}
+}

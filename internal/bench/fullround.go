@@ -13,8 +13,22 @@ import (
 // the root-level BenchmarkMicroSimRound both run it, so the committed
 // BENCH_roundloop.json trajectory and the experiment-suite benchmark can
 // never drift onto different workloads.
-func FullRound(b *testing.B, n int) {
-	nw := dynp2p.New(dynp2p.Config{N: n, ChurnRate: 1, ChurnDelta: 1.0, Seed: 1})
+func FullRound(b *testing.B, n int) { fullRound(b, n, false) }
+
+// FullRoundTelemetry is FullRound with the whole observability stack hot:
+// every operation traced (sample rate 1) and the round-phase profiler
+// running. The differential against FullRound is the telemetry tax, gated
+// in scripts/bench.sh: it must cost at most a few percent of round time
+// and add zero steady-state allocations.
+func FullRoundTelemetry(b *testing.B, n int) { fullRound(b, n, true) }
+
+func fullRound(b *testing.B, n int, observed bool) {
+	cfg := dynp2p.Config{N: n, ChurnRate: 1, ChurnDelta: 1.0, Seed: 1}
+	if observed {
+		cfg.TraceSampleEvery = 1
+		cfg.Profile = true
+	}
+	nw := dynp2p.New(cfg)
 	nw.Run(nw.WarmupRounds())
 	nw.Store(0, 1, make([]byte, 64))
 	nw.Run(4)

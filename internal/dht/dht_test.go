@@ -49,6 +49,7 @@ func TestBootstrapRingHealthy(t *testing.T) {
 func TestStoreAndGetNoChurn(t *testing.T) {
 	e := newEngine(256, churn.ZeroLaw{}, 2)
 	h := NewHandler(256)
+	h.Instrument(e.Telemetry())
 	e.RunRound(h)
 	h.Bootstrap(e)
 	h.RequestStore(e, 3, 42, []byte("hello dht"))
@@ -64,6 +65,15 @@ func TestStoreAndGetNoChurn(t *testing.T) {
 	}
 	if len(res) != 1 || !res[0].Success {
 		t.Fatalf("DHT get failed: %+v", res)
+	}
+	if res[0].Hops <= 0 || res[0].Hops > h.ttl+1 {
+		t.Fatalf("Hops = %d, want in (0, %d]", res[0].Hops, h.ttl+1)
+	}
+	if hv := e.Telemetry().HistogramValue("dynp2p_dht_lookup_hops"); hv.Count != 1 {
+		t.Fatalf("dht lookup hops histogram count = %d, want 1", hv.Count)
+	}
+	if got := e.Telemetry().CounterValue("dynp2p_dht_lookups_done_total"); got != 1 {
+		t.Fatalf("dht lookups done = %d, want 1", got)
 	}
 }
 

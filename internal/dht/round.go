@@ -31,7 +31,7 @@ func (h *Handler) HandleRound(ctx *simnet.Ctx) {
 				st.items[m.Item] = append([]byte(nil), m.Blob...)
 			}
 		case KindData:
-			h.finish(m.Item^uint64(ctx.ID), ctx.Round, true)
+			h.finish(m.Item^uint64(ctx.ID), ctx.Round, true, int(m.Aux))
 		}
 	}
 
@@ -72,11 +72,14 @@ func (h *Handler) route(ctx *simnet.Ctx, st *state, m *simnet.Msg) {
 	if purpose == purposeStore || purpose == purposeGet {
 		target = Point(m.Item)
 	}
-	// Get lookups short-circuit on any replica along the path.
+	// Get lookups short-circuit on any replica along the path. For
+	// store/get lookups the finger byte carries the hop count so far;
+	// the KindData reply's Aux reports it (plus the reply hop itself).
 	if purpose == purposeGet {
 		if data, ok := st.items[m.Item]; ok {
 			ctx.SendMsg(simnet.Msg{
 				To: simnet.NodeID(m.Aux2), Kind: KindData, Item: m.Item, Blob: data,
+				Aux: uint64(finger + 1),
 			})
 			return
 		}
@@ -96,7 +99,11 @@ func (h *Handler) route(ctx *simnet.Ctx, st *state, m *simnet.Msg) {
 		next = st.succs[0]
 	}
 	fwd := *m
-	fwd.Aux = packFind(purpose, ttl-1, finger)
+	hop := finger
+	if purpose == purposeStore || purpose == purposeGet {
+		hop++ // finger byte doubles as hop counter for data lookups
+	}
+	fwd.Aux = packFind(purpose, ttl-1, hop)
 	fwd.To = next.id
 	ctx.SendMsg(fwd)
 }
@@ -124,7 +131,10 @@ func (h *Handler) resolve(ctx *simnet.Ctx, st *state, m *simnet.Msg, purpose uin
 	case purposeGet:
 		if resp.id == ctx.ID {
 			if data, ok := st.items[m.Item]; ok {
-				ctx.SendMsg(simnet.Msg{To: origin, Kind: KindData, Item: m.Item, Blob: data})
+				ctx.SendMsg(simnet.Msg{
+					To: origin, Kind: KindData, Item: m.Item, Blob: data,
+					Aux: uint64(finger + 1),
+				})
 			}
 			return
 		}
@@ -132,7 +142,7 @@ func (h *Handler) resolve(ctx *simnet.Ctx, st *state, m *simnet.Msg, purpose uin
 		// the lookup dies there if it lacks the data).
 		fwd := *m
 		fwd.To = resp.id
-		fwd.Aux = packFind(purposeGet, 1, 0)
+		fwd.Aux = packFind(purposeGet, 1, finger+1)
 		ctx.SendMsg(fwd)
 	}
 }

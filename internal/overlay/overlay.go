@@ -51,6 +51,7 @@ import (
 	"dynp2p/internal/graph"
 	"dynp2p/internal/rng"
 	"dynp2p/internal/simnet"
+	"dynp2p/internal/telemetry"
 	"dynp2p/internal/walks"
 )
 
@@ -161,6 +162,20 @@ func New(e *simnet.Engine, soup *walks.Soup, cfg Config) *Overlay {
 		o.x = make([]float64, o.n)
 		o.y = make([]float64, o.n)
 	}
+	// Bridge the overlay's counters into the telemetry registry. λ is a
+	// float in [0,1]; it is exposed in micro-units (×1e6) since registry
+	// values are integers.
+	e.Telemetry().RegisterCollector(func(emit func(string, telemetry.Kind, int64)) {
+		emit("dynp2p_overlay_ports_severed_total", telemetry.KindCounter, o.m.PortsSevered)
+		emit("dynp2p_overlay_splices_total", telemetry.KindCounter, o.m.Splices)
+		emit("dynp2p_overlay_direct_pairs_total", telemetry.KindCounter, o.m.DirectPairs)
+		emit("dynp2p_overlay_stale_samples_total", telemetry.KindCounter, o.m.StaleSamples)
+		emit("dynp2p_overlay_guard_checks_total", telemetry.KindCounter, o.m.GuardChecks)
+		emit("dynp2p_overlay_guard_fixes_total", telemetry.KindCounter, o.m.GuardFixes)
+		emit("dynp2p_overlay_spectral_rounds_total", telemetry.KindCounter, o.m.SpectralRounds)
+		emit("dynp2p_overlay_lambda_e6", telemetry.KindGauge, int64(o.m.Lambda*1e6))
+		emit("dynp2p_overlay_lambda_max_e6", telemetry.KindGauge, int64(o.m.LambdaMax*1e6))
+	})
 	return o
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"dynp2p/internal/ida"
 	"dynp2p/internal/simnet"
+	"dynp2p/internal/telemetry"
 	"dynp2p/internal/walks"
 )
 
@@ -22,6 +23,7 @@ type membership struct {
 	roster   []simnet.NodeID // current members (possibly including dead ids)
 	joined   int             // round this node (re-)joined
 	owner    simnet.NodeID   // the node this membership state belongs to
+	trace    uint64          // lifecycle trace id inherited from the invite (0 = untraced)
 
 	// Per-epoch scratch, reset at each epoch's sample window.
 	curEpoch     int                   // epoch the scratch belongs to
@@ -145,6 +147,7 @@ func (h *Handler) sendCounts(ctx *simnet.Ctx, st *nodeState, m *membership) {
 		ctx.SendMsg(simnet.Msg{
 			To: peer, Kind: KindCCount, Item: m.com,
 			Aux: aux, Aux2: itemLen, Blob: blob,
+			Trace: m.trace,
 		})
 	}
 }
@@ -235,7 +238,7 @@ func (h *Handler) attemptHandover(ctx *simnet.Ctx, st *nodeState, m *membership,
 			// then re-disperse fresh pieces to the new roster.
 			item, ok := h.reconstruct(m)
 			if !ok {
-				h.ctr.idaLost.Add(1)
+				h.ctr.idaLost.Inc(ctx.Shard)
 				return
 			}
 			pieces := h.code.Encode(item)
@@ -244,7 +247,7 @@ func (h *Handler) attemptHandover(ctx *simnet.Ctx, st *nodeState, m *membership,
 				blobs[i] = pieces[i%len(pieces)].Data
 			}
 			itemLen = uint64(len(item))
-			h.ctr.idaRecoded.Add(1)
+			h.ctr.idaRecoded.Inc(ctx.Shard)
 		}
 	}
 	m.handledEpoch = epoch
@@ -260,22 +263,24 @@ func (h *Handler) attemptHandover(ctx *simnet.Ctx, st *nodeState, m *membership,
 		}
 		ctx.SendMsg(simnet.Msg{
 			To: peer, Kind: KindCInvite, Item: m.com,
-			Aux:  packInvite(m.base, m.mode, pieceIdx),
-			Aux2: itemLen,
-			IDs:  newRoster,
-			Blob: blob,
+			Aux:   packInvite(m.base, m.mode, pieceIdx),
+			Aux2:  itemLen,
+			IDs:   newRoster,
+			Blob:  blob,
+			Trace: m.trace,
 		})
 	}
-	h.ctr.invitesSent.Add(int64(len(newRoster)))
+	h.ctr.invitesSent.Add(ctx.Shard, int64(len(newRoster)))
 	for _, peer := range m.roster {
 		ctx.SendMsg(simnet.Msg{
 			To: peer, Kind: KindCHandover, Item: m.com,
 			Aux: uint64(epoch), IDs: newRoster,
+			Trace: m.trace,
 		})
 	}
-	h.ctr.handovers.Add(1)
+	h.ctr.handovers.Inc(ctx.Shard)
 	if k > 0 {
-		h.ctr.fallbackHandovers.Add(1)
+		h.ctr.fallbackHandovers.Inc(ctx.Shard)
 	}
 }
 
@@ -336,6 +341,7 @@ func (h *Handler) onInvite(ctx *simnet.Ctx, st *nodeState, msg *simnet.Msg) {
 		joined:   ctx.Round,
 		owner:    st.id,
 		curEpoch: -1,
+		trace:    msg.Trace,
 	}
 	m.handledEpoch = m.epochOf(ctx.Round, h.P.Period)
 	st.memberships[com] = m
@@ -356,8 +362,20 @@ func (h *Handler) onInvite(ctx *simnet.Ctx, st *nodeState, msg *simnet.Msg) {
 		st.storageLM[key] = &lmEntry{
 			roster: m.roster, expiry: ctx.Round + h.P.LandmarkTTL, wave: ctx.Round,
 		}
+		// A traced store settles when its *creation* invites land (base ==
+		// the send round): every founding member emits a done event, and
+		// the tracer's first-done-wins aggregation closes the lifecycle
+		// deterministically. Handover invites (older base) don't re-close.
+		if msg.Trace != 0 && base == ctx.Round-1 {
+			if tr := ctx.E.Tracer(); tr != nil {
+				tr.Emit(ctx.Shard, telemetry.Event{
+					Trace: msg.Trace, Round: int64(ctx.Round), Kind: telemetry.EvOpDone,
+					From: uint64(st.id), Item: key, OK: true,
+				})
+			}
+		}
 	case ModeSearch:
-		h.addSearchTask(st, key, searcher, ctx.Round)
+		h.addSearchTask(st, key, searcher, ctx.Round, msg.Trace)
 	}
 }
 
@@ -379,5 +397,5 @@ func (h *Handler) onHandover(ctx *simnet.Ctx, st *nodeState, msg *simnet.Msg) {
 	if m.mode == ModeStore {
 		delete(st.stored, m.key)
 	}
-	h.ctr.resignations.Add(1)
+	h.ctr.resignations.Inc(ctx.Shard)
 }

@@ -3,10 +3,10 @@ package protocol
 import (
 	"slices"
 	"sync"
-	"sync/atomic"
 
 	"dynp2p/internal/ida"
 	"dynp2p/internal/simnet"
+	"dynp2p/internal/telemetry"
 	"dynp2p/internal/walks"
 )
 
@@ -14,7 +14,7 @@ import (
 // landmark trees, storage, and retrieval for every node in the network.
 // Per-node state is kept per slot; HandleRound runs concurrently across
 // slots but each invocation touches only its own slot's state, shared
-// immutable configuration, and atomic counters.
+// immutable configuration, and sharded telemetry cells.
 type Handler struct {
 	P    Params
 	soup *walks.Soup
@@ -28,20 +28,40 @@ type Handler struct {
 	ctr counters
 }
 
-// counters are the handler's atomic event counters.
+// counters are the handler's event counters: registry-backed sharded
+// cells. Every update site runs inside HandleRound and adds to the
+// node's shard (ctx.Shard), so the hot path takes no atomics and the
+// merged totals are identical at any worker count.
 type counters struct {
-	invitesSent       atomic.Int64
-	handovers         atomic.Int64
-	fallbackHandovers atomic.Int64
-	resignations      atomic.Int64
-	committeeCreated  atomic.Int64
-	waves             atomic.Int64
-	growSent          atomic.Int64
-	inquiries         atomic.Int64
-	founds            atomic.Int64
-	fetches           atomic.Int64
-	idaLost           atomic.Int64
-	idaRecoded        atomic.Int64
+	invitesSent       telemetry.Counter
+	handovers         telemetry.Counter
+	fallbackHandovers telemetry.Counter
+	resignations      telemetry.Counter
+	committeeCreated  telemetry.Counter
+	waves             telemetry.Counter
+	growSent          telemetry.Counter
+	inquiries         telemetry.Counter
+	founds            telemetry.Counter
+	fetches           telemetry.Counter
+	idaLost           telemetry.Counter
+	idaRecoded        telemetry.Counter
+}
+
+func newCounters(reg *telemetry.Registry) counters {
+	return counters{
+		invitesSent:       reg.Counter("dynp2p_proto_invites_sent_total", "committee invitations sent"),
+		handovers:         reg.Counter("dynp2p_proto_handovers_total", "epoch handovers completed"),
+		fallbackHandovers: reg.Counter("dynp2p_proto_fallback_handovers_total", "handovers performed by a non-primary candidate"),
+		resignations:      reg.Counter("dynp2p_proto_resignations_total", "members resigned after a handover"),
+		committeeCreated:  reg.Counter("dynp2p_proto_committees_created_total", "committees created by store/retrieve requests"),
+		waves:             reg.Counter("dynp2p_proto_waves_total", "landmark waves started by members"),
+		growSent:          reg.Counter("dynp2p_proto_grow_sent_total", "tree-growth messages sent"),
+		inquiries:         reg.Counter("dynp2p_proto_inquiries_total", "landmark inquiries sent"),
+		founds:            reg.Counter("dynp2p_proto_founds_total", "positive inquiry responses sent"),
+		fetches:           reg.Counter("dynp2p_proto_fetches_total", "data fetch requests sent"),
+		idaLost:           reg.Counter("dynp2p_proto_ida_lost_total", "handovers where fewer than K pieces survived"),
+		idaRecoded:        reg.Counter("dynp2p_proto_ida_recoded_total", "handovers that reconstructed and re-dispersed"),
+	}
 }
 
 // Counters is a plain snapshot of the handler's event counters.
@@ -60,21 +80,22 @@ type Counters struct {
 	IDARecoded        int64 // handovers that reconstructed and re-dispersed
 }
 
-// Counters returns a snapshot of event counters.
+// Counters returns a snapshot of event counters, merged from the
+// telemetry registry (the store of record). Call between rounds.
 func (h *Handler) Counters() Counters {
 	return Counters{
-		InvitesSent:       h.ctr.invitesSent.Load(),
-		Handovers:         h.ctr.handovers.Load(),
-		FallbackHandovers: h.ctr.fallbackHandovers.Load(),
-		Resignations:      h.ctr.resignations.Load(),
-		CommitteesCreated: h.ctr.committeeCreated.Load(),
-		Waves:             h.ctr.waves.Load(),
-		GrowSent:          h.ctr.growSent.Load(),
-		Inquiries:         h.ctr.inquiries.Load(),
-		Founds:            h.ctr.founds.Load(),
-		Fetches:           h.ctr.fetches.Load(),
-		IDALost:           h.ctr.idaLost.Load(),
-		IDARecoded:        h.ctr.idaRecoded.Load(),
+		InvitesSent:       h.ctr.invitesSent.Value(),
+		Handovers:         h.ctr.handovers.Value(),
+		FallbackHandovers: h.ctr.fallbackHandovers.Value(),
+		Resignations:      h.ctr.resignations.Value(),
+		CommitteesCreated: h.ctr.committeeCreated.Value(),
+		Waves:             h.ctr.waves.Value(),
+		GrowSent:          h.ctr.growSent.Value(),
+		Inquiries:         h.ctr.inquiries.Value(),
+		Founds:            h.ctr.founds.Value(),
+		Fetches:           h.ctr.fetches.Value(),
+		IDALost:           h.ctr.idaLost.Value(),
+		IDARecoded:        h.ctr.idaRecoded.Value(),
 	}
 }
 
@@ -129,6 +150,7 @@ type searchTask struct {
 	searcher simnet.NodeID
 	expiry   int
 	wave     int
+	trace    uint64 // the search's lifecycle trace id (0 = untraced)
 }
 
 // pendingOp is a Store/Retrieve request waiting for enough walk samples to
@@ -144,7 +166,11 @@ type pendingOp struct {
 // hook on the same engine. Panics on invalid parameters.
 func NewHandler(e *simnet.Engine, soup *walks.Soup, p Params) *Handler {
 	p.validate()
-	h := &Handler{P: p, soup: soup, states: make([]nodeState, e.N())}
+	h := &Handler{
+		P: p, soup: soup,
+		states: make([]nodeState, e.N()),
+		ctr:    newCounters(e.Telemetry()),
+	}
 	if p.IDAThreshold > 0 {
 		c, err := ida.New(p.IDAThreshold, p.CommitteeSize)
 		if err != nil {
@@ -225,8 +251,20 @@ func (h *Handler) HandleRound(ctx *simnet.Ctx) {
 	}
 }
 
-// dispatch routes one message to its protocol sub-handler.
+// dispatch routes one message to its protocol sub-handler. Hop counting
+// is centralised here: every delivered message belonging to a traced
+// operation records exactly one hop event, so per-op hop counts measure
+// delivered protocol traffic regardless of which sub-handler consumes it.
 func (h *Handler) dispatch(ctx *simnet.Ctx, st *nodeState, m *simnet.Msg) {
+	if m.Trace != 0 {
+		if tr := ctx.E.Tracer(); tr != nil {
+			tr.Emit(ctx.Shard, telemetry.Event{
+				Trace: m.Trace, Round: int64(ctx.Round), Kind: telemetry.EvHop,
+				Msg: m.Kind, From: uint64(m.From), To: uint64(st.id),
+				Item: m.Item, Aux: int64(m.Bits()),
+			})
+		}
+	}
 	switch m.Kind {
 	case KindCInvite:
 		h.onInvite(ctx, st, m)

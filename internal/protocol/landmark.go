@@ -17,7 +17,7 @@ func (h *Handler) maybeWave(ctx *simnet.Ctx, st *nodeState, m *membership) {
 	if !due {
 		return
 	}
-	h.ctr.waves.Add(1)
+	h.ctr.waves.Inc(ctx.Shard)
 	wave := round
 
 	// The member itself is a landmark for its task.
@@ -27,17 +27,17 @@ func (h *Handler) maybeWave(ctx *simnet.Ctx, st *nodeState, m *membership) {
 			roster: m.roster, expiry: round + h.P.LandmarkTTL, wave: wave,
 		}
 	case ModeSearch:
-		h.addSearchTask(st, m.key, m.searcher, round)
+		h.addSearchTask(st, m.key, m.searcher, round, m.trace)
 	}
 
-	h.growChildren(ctx, st, m.key, m.mode, m.searcher, m.roster, h.P.TreeDepth, wave)
+	h.growChildren(ctx, st, m.key, m.mode, m.searcher, m.roster, h.P.TreeDepth, wave, m.trace)
 }
 
 // growChildren sends tree-growth invitations to TreeFanout recent walk
 // samples ("node v contacts its received sample nodes and adds 2 nodes
 // that are not yet part of the tree as its children").
 func (h *Handler) growChildren(ctx *simnet.Ctx, st *nodeState, key uint64,
-	mode Mode, searcher simnet.NodeID, roster []simnet.NodeID, depth, wave int) {
+	mode Mode, searcher simnet.NodeID, roster []simnet.NodeID, depth, wave int, trace uint64) {
 	if depth <= 0 {
 		return
 	}
@@ -45,12 +45,13 @@ func (h *Handler) growChildren(ctx *simnet.Ctx, st *nodeState, key uint64,
 	for _, child := range children {
 		ctx.SendMsg(simnet.Msg{
 			To: child, Kind: KindLGrow, Item: key,
-			Aux:  packGrow(depth-1, wave, mode),
-			Aux2: uint64(searcher),
-			IDs:  roster,
+			Aux:   packGrow(depth-1, wave, mode),
+			Aux2:  uint64(searcher),
+			IDs:   roster,
+			Trace: trace,
 		})
 	}
-	h.ctr.growSent.Add(int64(len(children)))
+	h.ctr.growSent.Add(ctx.Shard, int64(len(children)))
 }
 
 // onGrow handles a tree-growth invitation: the node becomes a landmark for
@@ -82,27 +83,30 @@ func (h *Handler) onGrow(ctx *simnet.Ctx, st *nodeState, msg *simnet.Msg) {
 			}
 			return
 		}
-		h.addSearchTaskWave(st, key, searcher, ctx.Round, wave)
+		h.addSearchTaskWave(st, key, searcher, ctx.Round, wave, msg.Trace)
 	default:
 		return
 	}
-	h.growChildren(ctx, st, key, mode, simnet.NodeID(msg.Aux2), msg.IDs, depth, wave)
+	h.growChildren(ctx, st, key, mode, simnet.NodeID(msg.Aux2), msg.IDs, depth, wave, msg.Trace)
 }
 
 // addSearchTask registers this node as a search landmark for (key,
 // searcher), creating or refreshing the task.
-func (h *Handler) addSearchTask(st *nodeState, key uint64, searcher simnet.NodeID, round int) {
-	h.addSearchTaskWave(st, key, searcher, round, round)
+func (h *Handler) addSearchTask(st *nodeState, key uint64, searcher simnet.NodeID, round int, trace uint64) {
+	h.addSearchTaskWave(st, key, searcher, round, round, trace)
 }
 
-func (h *Handler) addSearchTaskWave(st *nodeState, key uint64, searcher simnet.NodeID, round, wave int) {
+func (h *Handler) addSearchTaskWave(st *nodeState, key uint64, searcher simnet.NodeID, round, wave int, trace uint64) {
 	if t := findSearchTask(st, key, searcher); t != nil {
 		t.expiry = round + h.P.LandmarkTTL
 		t.wave = wave
+		if trace != 0 {
+			t.trace = trace
+		}
 		return
 	}
 	st.searchLM[key] = append(st.searchLM[key], &searchTask{
-		searcher: searcher, expiry: round + h.P.LandmarkTTL, wave: wave,
+		searcher: searcher, expiry: round + h.P.LandmarkTTL, wave: wave, trace: trace,
 	})
 }
 

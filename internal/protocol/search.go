@@ -6,6 +6,7 @@ import (
 
 	"dynp2p/internal/ida"
 	"dynp2p/internal/simnet"
+	"dynp2p/internal/telemetry"
 	"dynp2p/internal/walks"
 )
 
@@ -21,6 +22,7 @@ type searchState struct {
 	pieces   []ida.Piece
 	itemLen  int
 	want     []byte // expected content, if known (for verification)
+	trace    uint64 // nonzero when this retrieval is lifecycle-traced
 }
 
 // RequestStore asks the node at slot to persistently store (key, data)
@@ -82,6 +84,7 @@ func (h *Handler) tickPending(ctx *simnet.Ctx, st *nodeState) {
 // piece).
 func (h *Handler) createStoreCommittee(ctx *simnet.Ctx, st *nodeState, op pendingOp, roster []simnet.NodeID) {
 	com := op.key
+	trace := h.sampleOp(ctx, st, op, true)
 	var pieces []ida.Piece
 	if h.code != nil {
 		pieces = h.code.Encode(op.data)
@@ -96,42 +99,65 @@ func (h *Handler) createStoreCommittee(ctx *simnet.Ctx, st *nodeState, op pendin
 		}
 		ctx.SendMsg(simnet.Msg{
 			To: peer, Kind: KindCInvite, Item: com,
-			Aux:  packInvite(ctx.Round, ModeStore, pieceIdx),
-			Aux2: uint64(len(op.data)),
-			IDs:  roster,
-			Blob: blob,
+			Aux:   packInvite(ctx.Round, ModeStore, pieceIdx),
+			Aux2:  uint64(len(op.data)),
+			IDs:   roster,
+			Blob:  blob,
+			Trace: trace,
 		})
 	}
-	h.ctr.invitesSent.Add(int64(len(roster)))
-	h.ctr.committeeCreated.Add(1)
+	h.ctr.invitesSent.Add(ctx.Shard, int64(len(roster)))
+	h.ctr.committeeCreated.Inc(ctx.Shard)
+}
+
+// sampleOp decides whether the operation is lifecycle-traced and, when it
+// is, emits its start event (dated at the request round, so
+// rounds-to-resolve includes the soup warm-up wait). The decision is a
+// pure hash of (tracer seed, key, issuer): worker-count independent.
+func (h *Handler) sampleOp(ctx *simnet.Ctx, st *nodeState, op pendingOp, isStore bool) uint64 {
+	tr := ctx.E.Tracer()
+	if tr == nil {
+		return 0
+	}
+	trace := tr.Sampled(op.key, uint64(st.id))
+	if trace != 0 {
+		tr.Emit(ctx.Shard, telemetry.Event{
+			Trace: trace, Round: int64(op.start), Kind: telemetry.EvOpStart,
+			From: uint64(st.id), Item: op.key, OK: isStore,
+		})
+	}
+	return trace
 }
 
 // createSearchCommittee implements Algorithm 4 step 1: invite a search
 // committee and start tracking the retrieval locally.
 func (h *Handler) createSearchCommittee(ctx *simnet.Ctx, st *nodeState, op pendingOp, roster []simnet.NodeID) {
 	com := searchComID(op.key, st.id, op.start)
+	trace := h.sampleOp(ctx, st, op, false)
 	st.searches[op.key] = &searchState{
 		key: op.key, com: com, start: op.start,
 		deadline: op.start + h.P.SearchTTL,
 		found:    -1,
 		fetched:  make(map[simnet.NodeID]bool),
 		want:     op.data,
+		trace:    trace,
 	}
 	kb := keyBlob(op.key)
 	for _, peer := range roster {
 		ctx.SendMsg(simnet.Msg{
 			To: peer, Kind: KindCInvite, Item: com,
-			Aux:  packInvite(ctx.Round, ModeSearch, 0),
-			Aux2: uint64(st.id),
-			IDs:  roster,
-			Blob: kb,
+			Aux:   packInvite(ctx.Round, ModeSearch, 0),
+			Aux2:  uint64(st.id),
+			IDs:   roster,
+			Blob:  kb,
+			Trace: trace,
 		})
 	}
-	h.ctr.invitesSent.Add(int64(len(roster)))
-	h.ctr.committeeCreated.Add(1)
+	h.ctr.invitesSent.Add(ctx.Shard, int64(len(roster)))
+	h.ctr.committeeCreated.Inc(ctx.Shard)
 	// The searcher doubles as a search landmark so its own walk samples
 	// contribute to the rendezvous.
-	h.addSearchTask(st, op.key, st.id, ctx.Round)
+	h.addSearchTask(st, op.key, st.id, ctx.Round, trace)
 	// Shortcut: if the searcher already happens to be a storage landmark
 	// for the item, it knows the roster and can fetch immediately.
 	if ent, ok := st.storageLM[op.key]; ok && ctx.Round < ent.expiry {
@@ -143,8 +169,8 @@ func (h *Handler) createSearchCommittee(ctx *simnet.Ctx, st *nodeState, op pendi
 			}
 			srch.fetched[member] = true
 			srch.roster = append(srch.roster, member)
-			ctx.SendMsg(simnet.Msg{To: member, Kind: KindSFetch, Item: op.key})
-			h.ctr.fetches.Add(1)
+			ctx.SendMsg(simnet.Msg{To: member, Kind: KindSFetch, Item: op.key, Trace: trace})
+			h.ctr.fetches.Inc(ctx.Shard)
 		}
 	}
 }
@@ -176,10 +202,11 @@ func (h *Handler) tickSearchLandmarks(ctx *simnet.Ctx, st *nodeState, samples []
 				}
 				ctx.SendMsg(simnet.Msg{
 					To: s.Src, Kind: KindSInquire, Item: key,
-					Aux2: uint64(t.searcher),
+					Aux2:  uint64(t.searcher),
+					Trace: t.trace,
 				})
 			}
-			h.ctr.inquiries.Add(int64(len(samples)))
+			h.ctr.inquiries.Add(ctx.Shard, int64(len(samples)))
 		}
 	}
 }
@@ -194,9 +221,10 @@ func (h *Handler) onInquire(ctx *simnet.Ctx, st *nodeState, msg *simnet.Msg) {
 	}
 	ctx.SendMsg(simnet.Msg{
 		To: simnet.NodeID(msg.Aux2), Kind: KindSFound, Item: msg.Item,
-		IDs: ent.roster,
+		IDs:   ent.roster,
+		Trace: msg.Trace, // the inquiring search's trace rides the reply
 	})
-	h.ctr.founds.Add(1)
+	h.ctr.founds.Inc(ctx.Shard)
 }
 
 // onFound handles the searcher's side: record the storage roster and fetch
@@ -215,8 +243,8 @@ func (h *Handler) onFound(ctx *simnet.Ctx, st *nodeState, msg *simnet.Msg) {
 		}
 		srch.fetched[member] = true
 		srch.roster = append(srch.roster, member)
-		ctx.SendMsg(simnet.Msg{To: member, Kind: KindSFetch, Item: msg.Item})
-		h.ctr.fetches.Add(1)
+		ctx.SendMsg(simnet.Msg{To: member, Kind: KindSFetch, Item: msg.Item, Trace: srch.trace})
+		h.ctr.fetches.Inc(ctx.Shard)
 	}
 }
 
@@ -233,9 +261,10 @@ func (h *Handler) onFetch(ctx *simnet.Ctx, st *nodeState, msg *simnet.Msg) {
 	}
 	ctx.SendMsg(simnet.Msg{
 		To: msg.From, Kind: KindSData, Item: msg.Item,
-		Aux:  packCount(0, idx, hasPiece),
-		Aux2: uint64(cp.itemLen),
-		Blob: cp.data,
+		Aux:   packCount(0, idx, hasPiece),
+		Aux2:  uint64(cp.itemLen),
+		Blob:  cp.data,
+		Trace: msg.Trace,
 	})
 }
 
@@ -284,7 +313,22 @@ func (h *Handler) finishSearch(ctx *simnet.Ctx, st *nodeState, srch *searchState
 		Searcher: st.id, Key: srch.key, Start: srch.start,
 		Found: srch.found, Done: done, Success: success, Bytes: nbytes,
 	})
+	h.emitSearchDone(ctx, st, srch, done, success)
 	delete(st.searches, srch.key)
+}
+
+// emitSearchDone closes a traced retrieval's lifecycle.
+func (h *Handler) emitSearchDone(ctx *simnet.Ctx, st *nodeState, srch *searchState, done int, success bool) {
+	if srch.trace == 0 {
+		return
+	}
+	if tr := ctx.E.Tracer(); tr != nil {
+		tr.Emit(ctx.Shard, telemetry.Event{
+			Trace: srch.trace, Round: int64(done), Kind: telemetry.EvOpDone,
+			From: uint64(st.id), Item: srch.key,
+			Aux: int64(done - srch.start), OK: success,
+		})
+	}
 }
 
 // tickSearches expires overdue retrievals (recorded as failures).
@@ -299,6 +343,7 @@ func (h *Handler) tickSearches(ctx *simnet.Ctx, st *nodeState) {
 				Searcher: st.id, Key: srch.key, Start: srch.start,
 				Found: srch.found, Done: -1, Success: false,
 			})
+			h.emitSearchDone(ctx, st, srch, ctx.Round, false)
 			delete(st.searches, key)
 			continue
 		}

@@ -7,6 +7,7 @@ import (
 
 	"dynp2p"
 	"dynp2p/internal/stats"
+	"dynp2p/internal/telemetry"
 )
 
 // SLO aggregates per-request service-level outcomes for a slice of the
@@ -109,6 +110,14 @@ type Report struct {
 	Phases []PhaseReport `json:"phases"`
 	Total  SLO           `json:"total"`
 	Stats  dynp2p.Stats  `json:"stats"`
+	// Per-operation distributions from the lifecycle tracer (scenario
+	// runs trace every store and search): delivered protocol messages
+	// per operation, and rounds from issue to resolution/settlement.
+	// Nil when no operation of that kind completed.
+	SearchHops   *telemetry.HistValue `json:"searchHops,omitempty"`
+	SearchRounds *telemetry.HistValue `json:"searchRounds,omitempty"`
+	StoreHops    *telemetry.HistValue `json:"storeHops,omitempty"`
+	StoreRounds  *telemetry.HistValue `json:"storeRounds,omitempty"`
 }
 
 // Fprint renders the report as an aligned text table (the idiom of
@@ -174,6 +183,21 @@ func (r *Report) Fprint(w io.Writer) {
 	if r.Spec.ErasureK > 0 {
 		fmt.Fprintf(w, "erasure: %d re-dispersals, %d items lost to piece shortage\n",
 			st.Proto.IDARecoded, st.Proto.IDALost)
+	}
+	if r.SearchHops != nil || r.StoreHops != nil {
+		fmt.Fprintf(w, "\nper-operation distributions (lifecycle tracer):\n")
+		if r.SearchHops != nil {
+			telemetry.FprintHistogram(w, "search hops", *r.SearchHops)
+		}
+		if r.SearchRounds != nil {
+			telemetry.FprintHistogram(w, "search rounds-to-resolve", *r.SearchRounds)
+		}
+		if r.StoreHops != nil {
+			telemetry.FprintHistogram(w, "store hops", *r.StoreHops)
+		}
+		if r.StoreRounds != nil {
+			telemetry.FprintHistogram(w, "store rounds-to-settle", *r.StoreRounds)
+		}
 	}
 }
 

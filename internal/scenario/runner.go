@@ -9,6 +9,7 @@ import (
 	"dynp2p"
 	"dynp2p/internal/expander"
 	"dynp2p/internal/rng"
+	"dynp2p/internal/telemetry"
 )
 
 // Options configures a Run beyond the Spec itself.
@@ -16,10 +17,26 @@ type Options struct {
 	// Trace, when non-nil, receives one JSON object per simulated round
 	// (JSONL). Trace output is deterministic in the Spec.
 	Trace io.Writer
+	// OpTrace, when non-nil, receives one JSON object per traced
+	// operation lifecycle event (start/hop/done JSONL) from the
+	// telemetry tracer. Deterministic in the Spec.
+	OpTrace io.Writer
+	// Metrics, when non-nil, receives a Prometheus text snapshot of the
+	// full telemetry registry after the run.
+	Metrics io.Writer
+	// PhaseProf, when non-nil, enables the engine's round-phase profiler
+	// and receives its per-round JSONL stream. Wall-clock timing: NOT
+	// deterministic, diagnostics only.
+	PhaseProf io.Writer
 }
 
-// TraceRecord is one line of the per-round JSONL trace. Counter fields
-// are per-round deltas, not cumulative totals.
+// TraceRecord is one line of the per-round JSONL trace. Every counter
+// field is a per-round delta, not a cumulative total: Churned, Msgs,
+// FaultDrop, Delayed, Repairs, and the Ops*/HopEvents trio are all
+// computed as differences of cumulative engine/telemetry counters across
+// the round, while Stores/Retrieves/Done/OK/Lost count this round's
+// events directly. Lambda is a point sample, present only on rounds the
+// spectral telemetry measured one.
 type TraceRecord struct {
 	Round     int    `json:"round"`
 	Phase     string `json:"phase"`
@@ -37,6 +54,11 @@ type TraceRecord struct {
 	// on rounds where the topology block's cadence measured one.
 	Repairs int64    `json:"repairs,omitempty"`
 	Lambda  *float64 `json:"lambda,omitempty"`
+	// Lifecycle-tracer activity this round: sampled operations started
+	// and resolved, and hop (message-delivery) events recorded.
+	OpsStarted int64 `json:"opsStarted,omitempty"`
+	OpsDone    int64 `json:"opsDone,omitempty"`
+	HopEvents  int64 `json:"hopEvents,omitempty"`
 }
 
 // request tracks one in-flight retrieval issued by the runner.
@@ -82,8 +104,9 @@ type runner struct {
 	accums []sloAccum // one per spec phase
 	total  sloAccum
 
-	prev dynp2p.Stats // snapshot for per-round deltas
-	segs []segMeta
+	prev      dynp2p.Stats // snapshot for per-round deltas
+	prevTrace [3]int64     // ops started / ops done / hop events
+	segs      []segMeta
 }
 
 // Run executes the spec and returns its report. The run is deterministic
@@ -108,7 +131,17 @@ func Run(spec Spec, opt Options) (*Report, error) {
 		Fault:    spec.Phases[0].Fault.model(),
 		Edges:    edges, EdgePeriod: spec.Topology.Period,
 		SpectralEvery: spec.Topology.SpectralEvery,
+		// Scenario runs trace every operation: the report's hop-count and
+		// rounds-to-resolve distributions come from the lifecycle tracer.
+		TraceSampleEvery: 1,
+		Profile:          opt.PhaseProf != nil,
 	})
+	if opt.OpTrace != nil {
+		nw.Tracer().StreamTo(opt.OpTrace)
+	}
+	if opt.PhaseProf != nil {
+		nw.Profiler().StreamTo(opt.PhaseProf)
+	}
 	r := &runner{
 		spec:        spec,
 		nw:          nw,
@@ -150,6 +183,21 @@ func Run(spec Spec, opt Options) (*Report, error) {
 		delete(r.outstanding, k)
 	}
 
+	if opt.OpTrace != nil {
+		if err := nw.Tracer().Flush(); err != nil {
+			return nil, fmt.Errorf("scenario %q: op trace: %w", spec.Name, err)
+		}
+	}
+	if opt.PhaseProf != nil {
+		if err := nw.Profiler().Flush(); err != nil {
+			return nil, fmt.Errorf("scenario %q: phase profile: %w", spec.Name, err)
+		}
+	}
+	if opt.Metrics != nil {
+		if err := telemetry.WritePrometheus(opt.Metrics, nw.Telemetry().Snapshot()); err != nil {
+			return nil, fmt.Errorf("scenario %q: metrics snapshot: %w", spec.Name, err)
+		}
+	}
 	return r.report(), nil
 }
 
@@ -319,6 +367,14 @@ func (r *runner) writeTrace(phase string, stores, retrieves, done, ok, lost int)
 		l := cur.Overlay.Lambda
 		rec.Lambda = &l
 	}
+	reg := r.nw.Telemetry()
+	ops := reg.CounterValue("dynp2p_trace_ops_total")
+	dones := reg.CounterValue("dynp2p_trace_ops_done_total")
+	hops := reg.CounterValue("dynp2p_trace_hop_events_total")
+	rec.OpsStarted = ops - r.prevTrace[0]
+	rec.OpsDone = dones - r.prevTrace[1]
+	rec.HopEvents = hops - r.prevTrace[2]
+	r.prevTrace = [3]int64{ops, dones, hops}
 	r.prev = cur
 	b, err := json.Marshal(rec)
 	if err != nil {
@@ -333,6 +389,18 @@ func (r *runner) report() *Report {
 		Rounds: r.nw.Round(),
 		Total:  r.total.finalize(),
 		Stats:  r.nw.Stats(),
+	}
+	reg := r.nw.Telemetry()
+	for name, dst := range map[string]**telemetry.HistValue{
+		"dynp2p_search_hops":              &rep.SearchHops,
+		"dynp2p_search_rounds_to_resolve": &rep.SearchRounds,
+		"dynp2p_store_hops":               &rep.StoreHops,
+		"dynp2p_store_rounds_to_settle":   &rep.StoreRounds,
+	} {
+		if hv := reg.HistogramValue(name); hv.Count > 0 {
+			h := hv
+			*dst = &h
+		}
 	}
 	for _, seg := range r.segs {
 		pr := PhaseReport{

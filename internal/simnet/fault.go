@@ -86,7 +86,7 @@ type delayedMsg struct {
 // delayed them, and must not leak a prior phase's perturbation into a
 // phase that declared, say, reliable links.
 func (e *Engine) SetFault(f FaultModel) {
-	e.metrics.MsgsFaultDropped += int64(len(e.delayed))
+	e.em.faultDropped.Add(0, int64(len(e.delayed)))
 	e.delayed = e.delayed[:0]
 	e.fault = f
 }
@@ -111,11 +111,11 @@ func (e *Engine) deliverDelayed(round int) {
 		}
 		s, ok := e.slotOf(d.m.To)
 		if !ok {
-			e.metrics.MsgsDropped++
+			e.em.dropped.Inc(0)
 			continue
 		}
 		e.insertCanonical(s, d.m)
-		e.metrics.MsgsDelivered++
+		e.em.delivered.Inc(0)
 	}
 	e.delayed = kept
 }

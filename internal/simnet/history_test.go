@@ -102,9 +102,9 @@ func TestDeliverDelayedChurnedTargetDrops(t *testing.T) {
 		delayedMsg{deliverAt: 9, m: Msg{To: survivor, Kind: 3}},
 	)
 	e.placeNewNode(3, 1) // churn the doomed target's slot
-	before := e.metrics
+	before := e.Metrics()
 	e.deliverDelayed(4)
-	m := e.metrics
+	m := e.Metrics()
 	if got := m.MsgsDropped - before.MsgsDropped; got != 1 {
 		t.Fatalf("dropped %d messages, want exactly the churned target's 1", got)
 	}

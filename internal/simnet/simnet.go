@@ -39,6 +39,7 @@ import (
 	"dynp2p/internal/graph"
 	"dynp2p/internal/rng"
 	"dynp2p/internal/shard"
+	"dynp2p/internal/telemetry"
 )
 
 // NodeID identifies a (possibly departed) node. IDs are never reused; 0 is
@@ -65,6 +66,13 @@ type Msg struct {
 	Aux2 uint64   // second auxiliary (e.g. the searcher id a reply routes to)
 	IDs  []NodeID // id-list payload (committee rosters etc.); ≤ MaxPayloadLen, may be nil
 	Blob []byte   // data payload (item copies, IDA pieces); ≤ MaxPayloadLen, may be nil
+
+	// Trace is an observability tag: when an operation is sampled for
+	// lifecycle tracing (telemetry.Tracer), protocol messages belonging
+	// to it carry the operation's nonzero trace id, and the receiver
+	// records a hop event. The tag is out-of-band telemetry, not part of
+	// the modelled wire format, so it does not count toward Bits().
+	Trace uint64
 
 	// (sentRound, srcSlot, seq) is unique per message and is the canonical
 	// inbox order. Fresh messages arrive already ordered (the sharded
@@ -141,9 +149,17 @@ type Config struct {
 	Law           churn.Law      // how many per round
 	Fault         FaultModel     // message-level faults; nil = reliable links
 	Workers       int            // parallel handler workers; 0 = GOMAXPROCS
+
+	// Telemetry is the metrics registry the engine (and everything built
+	// on it) reports into. nil = the engine creates a private one, so
+	// Metrics() and Telemetry() always work.
+	Telemetry *telemetry.Registry
 }
 
-// Metrics aggregates engine-level counters for the current run.
+// Metrics aggregates engine-level counters for the current run. Since the
+// telemetry registry became the store of record this struct is a *view*:
+// Engine.Metrics() assembles it from the registry's dynp2p_engine_*
+// series, and the two can never disagree.
 type Metrics struct {
 	Rounds        int
 	MsgsSent      int64
@@ -158,6 +174,35 @@ type Metrics struct {
 	// MaxNodeBitsRound is the largest per-node bits-sent observed in any
 	// single round (the scalability audit for E9).
 	MaxNodeBitsRound int64
+}
+
+// engineMetrics holds the engine's registry handles. All engine-side
+// updates happen in serial round phases (churn, tally merge, delayed
+// delivery), so every write goes to shard 0.
+type engineMetrics struct {
+	rounds       telemetry.Counter
+	sent         telemetry.Counter
+	delivered    telemetry.Counter
+	dropped      telemetry.Counter
+	faultDropped telemetry.Counter
+	delayed      telemetry.Counter
+	bitsSent     telemetry.Counter
+	replacements telemetry.Counter
+	maxNodeBits  telemetry.Gauge
+}
+
+func newEngineMetrics(reg *telemetry.Registry) engineMetrics {
+	return engineMetrics{
+		rounds:       reg.Counter("dynp2p_engine_rounds_total", "simulation rounds executed"),
+		sent:         reg.Counter("dynp2p_engine_msgs_sent_total", "protocol messages sent"),
+		delivered:    reg.Counter("dynp2p_engine_msgs_delivered_total", "protocol messages delivered"),
+		dropped:      reg.Counter("dynp2p_engine_msgs_dropped_total", "messages addressed to churned-out ids"),
+		faultDropped: reg.Counter("dynp2p_engine_msgs_fault_dropped_total", "messages lost to the fault model"),
+		delayed:      reg.Counter("dynp2p_engine_msgs_delayed_total", "messages deferred by the fault model"),
+		bitsSent:     reg.Counter("dynp2p_engine_bits_sent_total", "modelled wire bits sent"),
+		replacements: reg.Counter("dynp2p_engine_replacements_total", "churn replacements performed"),
+		maxNodeBits:  reg.Gauge("dynp2p_engine_max_node_bits_round", "largest per-node bits sent in any single round"),
+	}
 }
 
 // routedRef identifies a message staged for delivery: the destination slot
@@ -235,8 +280,13 @@ type Engine struct {
 	// instead of a hardware divide per message.
 	slotLoc []uint32
 
-	hooks   []RoundHook
-	metrics Metrics
+	hooks     []RoundHook
+	hookNames []string // parallel to hooks, for profiler phase labels
+
+	reg    *telemetry.Registry
+	em     engineMetrics
+	tracer *telemetry.Tracer
+	prof   *telemetry.PhaseProfiler
 
 	workers  int
 	shardOut []routeShard // [shard.Count] scatter/gather staging
@@ -264,6 +314,9 @@ func New(cfg Config) *Engine {
 	if workers > cfg.N {
 		workers = cfg.N
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
 	e := &Engine{
 		cfg: cfg,
 		topo: expander.New(expander.Config{
@@ -281,6 +334,8 @@ func New(cfg Config) *Engine {
 		workers:   workers,
 		shardOut:  make([]routeShard, shard.Count),
 		slotLoc:   shard.LocTable(cfg.N),
+		reg:       cfg.Telemetry,
+		em:        newEngineMetrics(cfg.Telemetry),
 	}
 	for sh := range e.shardOut {
 		e.shardOut[sh].xfer = make([][]routedRef, shard.Count)
@@ -475,10 +530,65 @@ func (e *Engine) recordReplacedHistory(round int) {
 func (e *Engine) NodeRand(s int) *rng.Stream { return e.nodeRng[s] }
 
 // AddHook registers a round hook, run in registration order each round.
-func (e *Engine) AddHook(h RoundHook) { e.hooks = append(e.hooks, h) }
+// The hook's profiler phase is labelled hookN; AddNamedHook gives it a
+// meaningful name.
+func (e *Engine) AddHook(h RoundHook) {
+	e.AddNamedHook(fmt.Sprintf("hook%d", len(e.hooks)), h)
+}
 
-// Metrics returns a snapshot of the run counters.
-func (e *Engine) Metrics() Metrics { return e.metrics }
+// AddNamedHook registers a round hook under a name used as its phase
+// label in round profiles (e.g. "soup", "overlay").
+func (e *Engine) AddNamedHook(name string, h RoundHook) {
+	e.hooks = append(e.hooks, h)
+	e.hookNames = append(e.hookNames, name)
+}
+
+// Telemetry returns the engine's metrics registry.
+func (e *Engine) Telemetry() *telemetry.Registry { return e.reg }
+
+// SetTracer installs (or, with nil, removes) the operation-lifecycle
+// tracer. Protocols fetch it via Tracer() to stamp and record sampled
+// operations; the engine closes its round after routing. Call between
+// rounds.
+func (e *Engine) SetTracer(t *telemetry.Tracer) { e.tracer = t }
+
+// Tracer returns the installed tracer, or nil.
+func (e *Engine) Tracer() *telemetry.Tracer { return e.tracer }
+
+// EnableProfiling switches on the round-phase profiler and returns it.
+// Call after all hooks are registered so each gets its own phase; the
+// phase order matches RunRound: churn, topology, deliver, one phase per
+// hook, handlers, route. Wall-clock only — profiler output is outside
+// the determinism contract.
+func (e *Engine) EnableProfiling() *telemetry.PhaseProfiler {
+	if e.prof != nil {
+		return e.prof
+	}
+	names := []string{"churn", "topology", "deliver"}
+	names = append(names, e.hookNames...)
+	names = append(names, "handlers", "route")
+	e.prof = telemetry.NewPhaseProfiler(e.reg, names)
+	return e.prof
+}
+
+// Profiler returns the round-phase profiler, or nil when profiling is off.
+func (e *Engine) Profiler() *telemetry.PhaseProfiler { return e.prof }
+
+// Metrics returns a snapshot of the run counters, assembled from the
+// telemetry registry (the store of record).
+func (e *Engine) Metrics() Metrics {
+	return Metrics{
+		Rounds:           int(e.em.rounds.Value()),
+		MsgsSent:         e.em.sent.Value(),
+		MsgsDelivered:    e.em.delivered.Value(),
+		MsgsDropped:      e.em.dropped.Value(),
+		MsgsFaultDropped: e.em.faultDropped.Value(),
+		MsgsDelayed:      e.em.delayed.Value(),
+		BitsSent:         e.em.bitsSent.Value(),
+		Replacements:     e.em.replacements.Value(),
+		MaxNodeBitsRound: e.em.maxNodeBits.Value(),
+	}
+}
 
 // Ctx is the per-node view passed to Handler.HandleRound. It is reused
 // between nodes: neither the Ctx nor its Inbox may be retained after
@@ -487,6 +597,7 @@ type Ctx struct {
 	E     *Engine
 	Round int
 	Slot  int
+	Shard int // the slot's telemetry shard: pass to Counter.Add/Tracer.Emit
 	ID    NodeID
 	Rand  *rng.Stream
 	Inbox []Msg
@@ -537,6 +648,10 @@ func (c *Ctx) NeighborIDs(dst []NodeID) []NodeID {
 // the initial OnJoin for every node and runs a full round.
 func (e *Engine) RunRound(h Handler) {
 	round := e.round
+	prof := e.prof
+	if prof != nil {
+		prof.Begin()
+	}
 	if round == 0 {
 		// Initial population joins; no churn at round 0.
 		e.churned = e.churned[:0]
@@ -544,6 +659,10 @@ func (e *Engine) RunRound(h Handler) {
 			for s := 0; s < e.cfg.N; s++ {
 				h.OnJoin(e, s, e.ids[s], 0)
 			}
+		}
+		if prof != nil {
+			prof.Lap(0) // churn
+			prof.Lap(1) // topology
 		}
 	} else {
 		// 1. Adversarial churn.
@@ -556,15 +675,21 @@ func (e *Engine) RunRound(h Handler) {
 			id := e.placeNewNode(s, round)
 			// Pending messages addressed to the departed occupant die
 			// with it.
-			e.metrics.MsgsDropped += int64(len(e.nextInbox[s]))
+			e.em.dropped.Add(0, int64(len(e.nextInbox[s])))
 			e.nextInbox[s] = e.nextInbox[s][:0]
 			if h != nil {
 				h.OnJoin(e, s, id, round)
 			}
 		}
-		e.metrics.Replacements += int64(len(e.churned))
+		e.em.replacements.Add(0, int64(len(e.churned)))
+		if prof != nil {
+			prof.Lap(0) // churn
+		}
 		// 2. Topology change.
 		e.topo.Step(round)
+		if prof != nil {
+			prof.Lap(1) // topology
+		}
 	}
 	e.recordReplacedHistory(round)
 
@@ -576,12 +701,18 @@ func (e *Engine) RunRound(h Handler) {
 		delivered += int64(len(e.inbox[s]))
 		e.nextInbox[s] = e.nextInbox[s][:0]
 	}
-	e.metrics.MsgsDelivered += delivered
+	e.em.delivered.Add(0, delivered)
 	e.deliverDelayed(round)
+	if prof != nil {
+		prof.Lap(2) // deliver
+	}
 
-	// 3. Hooks (walk soup etc).
-	for _, hook := range e.hooks {
+	// 3. Hooks (walk soup etc), each its own profiler phase.
+	for i, hook := range e.hooks {
 		hook.StepRound(e, round)
+		if prof != nil {
+			prof.Lap(3 + i)
+		}
 	}
 
 	// 4. Handlers, in parallel over slot shards. NopHandler is the
@@ -590,11 +721,25 @@ func (e *Engine) RunRound(h Handler) {
 	// outright rather than executed vacuously.
 	if _, nop := h.(NopHandler); h != nil && !nop {
 		e.runHandlers(h, round)
+		if prof != nil {
+			prof.Lap(3 + len(e.hooks)) // handlers
+		}
 		// 5. Route: messages to live ids land in nextInbox; the rest drop.
 		e.route()
+		if prof != nil {
+			prof.Lap(4 + len(e.hooks)) // route
+		}
+	}
+	if e.tracer != nil {
+		// Merge the round's staged trace events (serial, fixed shard
+		// order) and update the lifecycle histograms.
+		e.tracer.EndRound(int64(round))
+	}
+	if prof != nil {
+		prof.EndRound(int64(round))
 	}
 
-	e.metrics.Rounds++
+	e.em.rounds.Inc(0)
 	e.round++
 }
 
@@ -611,7 +756,7 @@ func (e *Engine) runHandlers(h Handler, round int) {
 		ctx := rs.ctx
 		for s := lo; s < hi; s++ {
 			*ctx = Ctx{
-				E: e, Round: round, Slot: s, ID: e.ids[s],
+				E: e, Round: round, Slot: s, Shard: sh, ID: e.ids[s],
 				Rand: e.nodeRng[s], Inbox: e.inbox[s], out: &rs.out,
 			}
 			h.HandleRound(ctx)
@@ -628,10 +773,8 @@ func (e *Engine) runHandlers(h Handler, round int) {
 			maxBits = e.shardOut[sh].maxBits
 		}
 	}
-	e.metrics.BitsSent += total
-	if maxBits > e.metrics.MaxNodeBitsRound {
-		e.metrics.MaxNodeBitsRound = maxBits
-	}
+	e.em.bitsSent.Add(0, total)
+	e.em.maxNodeBits.SetMax(maxBits)
 }
 
 // route moves this round's outgoing messages into next-round inboxes with
@@ -689,10 +832,10 @@ func (e *Engine) route() {
 	// sentRound order and shards in increasing srcSlot order.
 	for sh := range e.shardOut {
 		rs := &e.shardOut[sh]
-		e.metrics.MsgsSent += rs.sent
-		e.metrics.MsgsDropped += rs.dropped
-		e.metrics.MsgsFaultDropped += rs.faultDropped
-		e.metrics.MsgsDelayed += rs.delayedCnt
+		e.em.sent.Add(0, rs.sent)
+		e.em.dropped.Add(0, rs.dropped)
+		e.em.faultDropped.Add(0, rs.faultDropped)
+		e.em.delayed.Add(0, rs.delayedCnt)
 		e.delayed = append(e.delayed, rs.delayed...)
 	}
 }

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// maxPhases bounds the number of named phases a profiler tracks; the
+// engine's hot loop has a handful (churn, topology, deliver, handlers,
+// route) plus one per named hook.
+const maxPhases = 16
+
+// ringDepth is how many rounds of per-phase timings the ring buffer
+// retains for the text summary's recent-window statistics.
+const ringDepth = 256
+
+// PhaseProfiler times the engine round loop phase by phase into a
+// preallocated ring buffer. All of its output is wall-clock and therefore
+// outside the determinism contract: it registers timing counters
+// (excluded from DeterministicSnapshot) and its summaries are only
+// schema-pinned by tests, never value-pinned.
+//
+// Usage: the engine calls Begin at the top of the round, then Lap(phase)
+// after each phase completes; EndRound closes the round. Single-writer,
+// engine-serial.
+type PhaseProfiler struct {
+	names  []string
+	totals []Counter // dynp2p_phase_<name>_ns_total timing counters
+	reg    *Registry
+
+	rounds int64
+	cur    [maxPhases]int64 // this round's per-phase ns
+	last   time.Time
+
+	ring [ringDepth][maxPhases]int64
+	head int
+	fill int
+
+	w   *bufio.Writer // JSONL stream, nil when off
+	buf []byte
+}
+
+// NewPhaseProfiler creates a profiler for the given phase names (at most
+// maxPhases; extras are dropped) registering per-phase ns counters on reg.
+func NewPhaseProfiler(reg *Registry, names []string) *PhaseProfiler {
+	if len(names) > maxPhases {
+		names = names[:maxPhases]
+	}
+	p := &PhaseProfiler{names: append([]string(nil), names...), reg: reg}
+	for _, n := range p.names {
+		p.totals = append(p.totals, reg.TimingCounter("dynp2p_phase_"+n+"_ns_total", "cumulative wall-clock ns in round phase "+n))
+	}
+	return p
+}
+
+// Names returns the phase names in Lap-index order.
+func (p *PhaseProfiler) Names() []string { return p.names }
+
+// StreamTo directs per-round phase timings as JSONL to w (nil stops).
+func (p *PhaseProfiler) StreamTo(w io.Writer) {
+	if w == nil {
+		p.w = nil
+		return
+	}
+	p.w = bufio.NewWriterSize(w, 1<<16)
+}
+
+// Flush drains buffered JSONL output.
+func (p *PhaseProfiler) Flush() error {
+	if p.w == nil {
+		return nil
+	}
+	return p.w.Flush()
+}
+
+// Begin starts timing a round.
+func (p *PhaseProfiler) Begin() {
+	for i := range p.cur[:len(p.names)] {
+		p.cur[i] = 0
+	}
+	p.last = time.Now()
+}
+
+// Lap records the time since the previous Lap (or Begin) against phase i.
+func (p *PhaseProfiler) Lap(i int) {
+	now := time.Now()
+	if i >= 0 && i < len(p.names) {
+		p.cur[i] += now.Sub(p.last).Nanoseconds()
+	}
+	p.last = now
+}
+
+// EndRound commits the round's timings to the ring, the registry, and the
+// JSONL stream. round is the engine round just finished.
+func (p *PhaseProfiler) EndRound(round int64) {
+	p.rounds++
+	copy(p.ring[p.head][:], p.cur[:len(p.names)])
+	p.head = (p.head + 1) % ringDepth
+	if p.fill < ringDepth {
+		p.fill++
+	}
+	for i := range p.names {
+		p.totals[i].Add(0, p.cur[i])
+	}
+	if p.w != nil {
+		b := p.buf[:0]
+		b = append(b, `{"round":`...)
+		b = strconv.AppendInt(b, round, 10)
+		for i, n := range p.names {
+			b = append(b, `,"`...)
+			b = append(b, n...)
+			b = append(b, `_ns":`...)
+			b = strconv.AppendInt(b, p.cur[i], 10)
+		}
+		b = append(b, '}', '\n')
+		p.buf = b
+		p.w.Write(b)
+	}
+}
+
+// Summary writes a text table of per-phase timings: cumulative share of
+// the run plus mean/p50/p99 over the recent ring window.
+func (p *PhaseProfiler) Summary(w io.Writer) {
+	fmt.Fprintf(w, "round-phase profile (%d rounds, window %d)\n", p.rounds, p.fill)
+	var grand int64
+	totals := make([]int64, len(p.names))
+	for i := range p.names {
+		totals[i] = p.totals[i].Value()
+		grand += totals[i]
+	}
+	if grand == 0 {
+		grand = 1
+	}
+	fmt.Fprintf(w, "  %-14s %10s %7s %12s %12s %12s\n", "phase", "total", "share", "mean/round", "p50", "p99")
+	window := make([]int64, 0, ringDepth)
+	for i, name := range p.names {
+		window = window[:0]
+		for r := 0; r < p.fill; r++ {
+			window = append(window, p.ring[r][i])
+		}
+		sort.Slice(window, func(a, b int) bool { return window[a] < window[b] })
+		var p50, p99 int64
+		if n := len(window); n > 0 {
+			p50, p99 = window[n/2], window[n*99/100]
+		}
+		mean := int64(0)
+		if p.rounds > 0 {
+			mean = totals[i] / p.rounds
+		}
+		fmt.Fprintf(w, "  %-14s %10s %6.1f%% %12s %12s %12s\n",
+			name, fmtNS(totals[i]), 100*float64(totals[i])/float64(grand),
+			fmtNS(mean), fmtNS(p50), fmtNS(p99))
+	}
+	fmt.Fprintf(w, "  %-14s %10s\n", "total", fmtNS(grand))
+}
+
+// fmtNS renders nanoseconds with an adaptive unit.
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 10*1e9:
+		return fmt.Sprintf("%.1fs", float64(ns)/1e9)
+	case ns >= 10*1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 10*1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,387 @@
+// Package telemetry is the unified observability substrate of the stack:
+// a metrics registry every subsystem reports into, per-operation lifecycle
+// tracing, and a round-phase profiler — designed to stay ON during
+// benchmarked runs.
+//
+// The registry holds named counters, gauges, and fixed-bucket log₂
+// histograms. All storage is preallocated at registration time and sharded
+// over the same fixed slot grid the engine and walk soup use
+// (internal/shard): a writer updates only its shard's cache-line-padded
+// cell block, and values merge across shards on read. Steady-state rounds
+// therefore add zero allocations, and — because shard ownership is a pure
+// function of the slot, not of the worker that happens to run it — every
+// event-counting metric is bit-identical at any worker count.
+//
+// Determinism contract: metrics registered through Counter/Gauge/Histogram
+// are *event* metrics and must be driven only by simulation events, so
+// they are reproducible in (seed, config). Metrics registered through the
+// Timing variants (and everything the PhaseProfiler reports) are
+// wall-clock measurements, excluded from the determinism contract and from
+// DeterministicSnapshot. Tests pin the former and only schema-check the
+// latter.
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"unsafe"
+
+	"dynp2p/internal/shard"
+)
+
+// NumShards is the width of the registry's cell grid — the engine's fixed
+// shard count, so handler code can pass its shard index straight through.
+const NumShards = shard.Count
+
+// HistBuckets is the number of log₂ histogram buckets: bucket b counts
+// observations v with bits.Len64(v) == b, i.e. bucket 0 holds v <= 0,
+// bucket b >= 1 holds 2^(b-1) <= v < 2^b.
+const HistBuckets = 64
+
+// Kind classifies a metric.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the metric kind's JSON/exposition name.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// cacheLineWords is the per-shard block granularity: blocks are padded to
+// a multiple of the 64-byte cache line (8 int64 words) and the backing
+// array is aligned to it, so two workers writing adjacent shards never
+// false-share a line.
+const cacheLineWords = 8
+
+type metricDef struct {
+	name   string
+	kind   Kind
+	timing bool // wall-clock: excluded from the determinism contract
+	help   string
+	off    int // first cell offset within a shard's block
+	width  int // cells: 1 (counter/gauge) or HistBuckets+2 (histogram)
+}
+
+// Registry is the metrics store. Register everything during setup (a
+// single goroutine); Add/Set/Observe are then safe from concurrent
+// writers as long as each shard index is driven by at most one goroutine
+// at a time — the discipline shard.Run already enforces — and reads
+// (Snapshot and friends) happen between rounds.
+type Registry struct {
+	defs   []metricDef
+	byName map[string]int
+
+	cells  []int64 // aligned view: NumShards blocks of stride words
+	stride int
+
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]int{}}
+}
+
+// alignedCells allocates n int64 cells whose first element sits on a
+// 64-byte boundary.
+func alignedCells(n int) []int64 {
+	raw := make([]int64, n+cacheLineWords-1)
+	off := 0
+	if rem := uintptr(unsafe.Pointer(&raw[0])) % 64; rem != 0 {
+		off = int((64 - rem) / 8)
+	}
+	return raw[off : off+n]
+}
+
+// register appends a metric definition and grows the cell grid. Offsets
+// within a shard's block never change once assigned, so existing handles
+// stay valid across re-layout.
+func (r *Registry) register(name string, kind Kind, timing bool, help string, width int) int {
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("telemetry: metric %q registered twice", name))
+	}
+	off := 0
+	if len(r.defs) > 0 {
+		last := r.defs[len(r.defs)-1]
+		off = last.off + last.width
+	}
+	r.byName[name] = len(r.defs)
+	r.defs = append(r.defs, metricDef{name: name, kind: kind, timing: timing, help: help, off: off, width: width})
+
+	need := off + width
+	stride := (need + cacheLineWords - 1) / cacheLineWords * cacheLineWords
+	if stride > r.stride {
+		grown := alignedCells(NumShards * stride)
+		for sh := 0; sh < NumShards; sh++ {
+			copy(grown[sh*stride:], r.cells[sh*r.stride:(sh+1)*r.stride])
+		}
+		r.cells, r.stride = grown, stride
+	}
+	return len(r.defs) - 1
+}
+
+// Counter registers (or returns the existing) named event counter.
+func (r *Registry) Counter(name, help string) Counter {
+	if i, ok := r.byName[name]; ok {
+		return Counter{r: r, off: r.defs[i].off}
+	}
+	i := r.register(name, KindCounter, false, help, 1)
+	return Counter{r: r, off: r.defs[i].off}
+}
+
+// TimingCounter registers a counter of wall-clock quantities (e.g.
+// accumulated nanoseconds), excluded from the determinism contract.
+func (r *Registry) TimingCounter(name, help string) Counter {
+	if i, ok := r.byName[name]; ok {
+		return Counter{r: r, off: r.defs[i].off}
+	}
+	i := r.register(name, KindCounter, true, help, 1)
+	return Counter{r: r, off: r.defs[i].off}
+}
+
+// Gauge registers (or returns the existing) named gauge. Gauges are
+// last-write-wins and single-writer: Set writes shard 0 only, from serial
+// (between-round) contexts.
+func (r *Registry) Gauge(name, help string) Gauge {
+	if i, ok := r.byName[name]; ok {
+		return Gauge{r: r, off: r.defs[i].off}
+	}
+	i := r.register(name, KindGauge, false, help, 1)
+	return Gauge{r: r, off: r.defs[i].off}
+}
+
+// Histogram registers (or returns the existing) named log₂ histogram.
+func (r *Registry) Histogram(name, help string) Histogram {
+	if i, ok := r.byName[name]; ok {
+		return Histogram{r: r, off: r.defs[i].off}
+	}
+	i := r.register(name, KindHistogram, false, help, HistBuckets+2)
+	return Histogram{r: r, off: r.defs[i].off}
+}
+
+// Counter is a handle to a registered counter. The zero value is inert:
+// Add on it panics, so instruments default to a registry-backed handle.
+type Counter struct {
+	r   *Registry
+	off int
+}
+
+// Add adds v to the counter's cell in shard sh. Shard indices come from
+// the caller's shard.Run context; serial callers use shard 0.
+func (c Counter) Add(sh int, v int64) { c.r.cells[sh*c.r.stride+c.off] += v }
+
+// Inc adds 1 in shard sh.
+func (c Counter) Inc(sh int) { c.Add(sh, 1) }
+
+// Value merges the counter across shards.
+func (c Counter) Value() int64 {
+	var t int64
+	for sh := 0; sh < NumShards; sh++ {
+		t += c.r.cells[sh*c.r.stride+c.off]
+	}
+	return t
+}
+
+// Gauge is a handle to a registered gauge.
+type Gauge struct {
+	r   *Registry
+	off int
+}
+
+// Set stores v (single-writer, serial contexts).
+func (g Gauge) Set(v int64) { g.r.cells[g.off] = v }
+
+// SetMax raises the gauge to v if larger.
+func (g Gauge) SetMax(v int64) {
+	if v > g.r.cells[g.off] {
+		g.r.cells[g.off] = v
+	}
+}
+
+// Value reads the gauge.
+func (g Gauge) Value() int64 { return g.r.cells[g.off] }
+
+// Histogram is a handle to a registered log₂ histogram. Layout within a
+// shard block: HistBuckets bucket cells, then a count cell and a sum cell.
+type Histogram struct {
+	r   *Registry
+	off int
+}
+
+// bucketOf maps an observation to its log₂ bucket.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records v in shard sh.
+func (h Histogram) Observe(sh int, v int64) {
+	base := sh*h.r.stride + h.off
+	h.r.cells[base+bucketOf(v)]++
+	h.r.cells[base+HistBuckets]++
+	h.r.cells[base+HistBuckets+1] += v
+}
+
+// HistValue is a merged histogram snapshot.
+type HistValue struct {
+	Buckets [HistBuckets]int64
+	Count   int64
+	Sum     int64
+}
+
+// Value merges the histogram across shards.
+func (h Histogram) Value() HistValue {
+	var out HistValue
+	for sh := 0; sh < NumShards; sh++ {
+		base := sh*h.r.stride + h.off
+		for b := 0; b < HistBuckets; b++ {
+			out.Buckets[b] += h.r.cells[base+b]
+		}
+		out.Count += h.r.cells[base+HistBuckets]
+		out.Sum += h.r.cells[base+HistBuckets+1]
+	}
+	return out
+}
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1) of the
+// observations: the geometric midpoint of the bucket holding the target
+// rank (exact for bucket-0 and bucket-1 values). Returns 0 on an empty
+// histogram.
+func (v HistValue) Quantile(q float64) int64 {
+	if v.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(v.Count))
+	if rank >= v.Count {
+		rank = v.Count - 1
+	}
+	var seen int64
+	for b := 0; b < HistBuckets; b++ {
+		seen += v.Buckets[b]
+		if seen > rank {
+			switch b {
+			case 0:
+				return 0
+			case 1:
+				return 1
+			default:
+				lo := int64(1) << (b - 1) // bucket spans [2^(b-1), 2^b)
+				return lo + lo/2
+			}
+		}
+	}
+	return 0
+}
+
+// Max returns the upper bound of the highest occupied bucket (the largest
+// observation rounded up to the next power of two), or 0 when empty.
+func (v HistValue) Max() int64 {
+	for b := HistBuckets - 1; b >= 0; b-- {
+		if v.Buckets[b] > 0 {
+			if b == 0 {
+				return 0
+			}
+			return int64(1)<<b - 1
+		}
+	}
+	return 0
+}
+
+// Collector contributes externally-owned metrics to snapshots: subsystems
+// that already keep their own deterministic counters (the walk soup, the
+// overlay) bridge them into the registry by registering a collector
+// instead of rewiring their accumulation. Emit may be called once per
+// metric; values must be merged/final. Collectors run on every snapshot,
+// from the snapshotting goroutine (between rounds).
+type Collector func(emit func(name string, kind Kind, v int64))
+
+// RegisterCollector adds a snapshot collector.
+func (r *Registry) RegisterCollector(c Collector) {
+	r.collectors = append(r.collectors, c)
+}
+
+// MetricValue is one metric in a snapshot.
+type MetricValue struct {
+	Name   string
+	Kind   Kind
+	Timing bool
+	Help   string
+	Value  int64      // counter/gauge
+	Hist   *HistValue // histogram
+}
+
+// Snapshot returns every metric — registered and collector-contributed —
+// merged across shards and sorted by name. Call between rounds.
+func (r *Registry) Snapshot() []MetricValue {
+	out := make([]MetricValue, 0, len(r.defs)+8)
+	for _, d := range r.defs {
+		mv := MetricValue{Name: d.name, Kind: d.kind, Timing: d.timing, Help: d.help}
+		switch d.kind {
+		case KindHistogram:
+			h := Histogram{r: r, off: d.off}.Value()
+			mv.Hist = &h
+		case KindGauge:
+			mv.Value = Gauge{r: r, off: d.off}.Value()
+		default:
+			mv.Value = Counter{r: r, off: d.off}.Value()
+		}
+		out = append(out, mv)
+	}
+	for _, c := range r.collectors {
+		c(func(name string, kind Kind, v int64) {
+			out = append(out, MetricValue{Name: name, Kind: kind, Value: v})
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DeterministicSnapshot returns the snapshot restricted to event metrics
+// (timing metrics excluded): the part of the registry that must be
+// bit-identical across worker counts for one (seed, config).
+func (r *Registry) DeterministicSnapshot() []MetricValue {
+	all := r.Snapshot()
+	out := all[:0]
+	for _, mv := range all {
+		if !mv.Timing {
+			out = append(out, mv)
+		}
+	}
+	return out
+}
+
+// CounterValue returns a registered counter's merged value (0 when the
+// name is unknown), a convenience for delta-tracking readers.
+func (r *Registry) CounterValue(name string) int64 {
+	i, ok := r.byName[name]
+	if !ok {
+		return 0
+	}
+	return Counter{r: r, off: r.defs[i].off}.Value()
+}
+
+// HistogramValue returns a registered histogram's merged snapshot (zero
+// when the name is unknown or not a histogram).
+func (r *Registry) HistogramValue(name string) HistValue {
+	i, ok := r.byName[name]
+	if !ok || r.defs[i].kind != KindHistogram {
+		return HistValue{}
+	}
+	return Histogram{r: r, off: r.defs[i].off}.Value()
+}

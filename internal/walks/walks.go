@@ -39,6 +39,7 @@ import (
 
 	"dynp2p/internal/shard"
 	"dynp2p/internal/simnet"
+	"dynp2p/internal/telemetry"
 )
 
 // Token is one in-flight random walk. The store keeps tokens as columns
@@ -228,6 +229,21 @@ func NewSoup(e *simnet.Engine, p Params, workers int) *Soup {
 	if p.Store == StoreLazy {
 		s.lz = newLazySoup(e, s)
 	}
+	// Bridge the soup's counters into the engine's telemetry registry as
+	// a collector: the soup keeps its own accumulation (the lazy store
+	// back-fills metrics when trajectories force), and snapshots pull the
+	// current totals. Metrics() forces lazy evaluation, so the bridged
+	// values obey the same exactness contract.
+	reg := e.Telemetry()
+	reg.RegisterCollector(func(emit func(string, telemetry.Kind, int64)) {
+		m := s.Metrics()
+		emit("dynp2p_soup_generated_total", telemetry.KindCounter, m.Generated)
+		emit("dynp2p_soup_completed_total", telemetry.KindCounter, m.Completed)
+		emit("dynp2p_soup_died_total", telemetry.KindCounter, m.Died)
+		emit("dynp2p_soup_overdue_total", telemetry.KindCounter, m.Overdue)
+		emit("dynp2p_soup_moves_total", telemetry.KindCounter, m.Moves)
+		emit("dynp2p_soup_deferred_total", telemetry.KindCounter, m.Deferred)
+	})
 	return s
 }
 

@@ -17,10 +17,23 @@
 # of magnitude below the per-slot allocation regime it guards against
 # (pre-optimisation: ~8 allocs per slot per round, ~32k/round at n=4096).
 #
+# A second gate prices the observability stack against FullRound.
+# FullRoundTelemetry (full tracing + phase profiler) may allocate at most
+# TELEMETRY_MAX_ALLOC_DELTA more per round at every size — telemetry must
+# stay steady-state allocation-free, and alloc counts are exact so this
+# holds anywhere. Its time tax is gated at the n=TELEMETRY_NS_GATE_SIZE
+# reference size only (at most TELEMETRY_MAX_NS_PCT percent slower):
+# ns/round on shared boxes is indicative, not exact (see notes in the
+# committed JSON), and at small sizes run-to-run noise exceeds the real
+# tax, which is ~0.
+#
 # Env overrides: BENCHTIME (default 20x), MAX_STEADY_ALLOCS (default 256),
 # OUT (default BENCH_roundloop.json), GATED_BENCHES (awk regex of benchmark
 # names the alloc gate applies to; default RouteOnly and SoupOnly at the
-# n=4096 reference size).
+# n=4096 reference size), TELEMETRY_MAX_NS_PCT (default 5),
+# TELEMETRY_MAX_ALLOC_DELTA (default 0), TELEMETRY_NS_GATE_SIZE
+# (default 65536, the acceptance size; the -short run has no such row so
+# only the alloc delta is gated there).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +44,9 @@ fi
 BENCHTIME="${BENCHTIME:-20x}"
 MAX_STEADY_ALLOCS="${MAX_STEADY_ALLOCS:-256}"
 GATED_BENCHES="${GATED_BENCHES:-^(RouteOnly|SoupOnly|SoupOnlyEager|OverlayRepair)\\/n=4096\$}"
+TELEMETRY_MAX_NS_PCT="${TELEMETRY_MAX_NS_PCT:-5}"
+TELEMETRY_MAX_ALLOC_DELTA="${TELEMETRY_MAX_ALLOC_DELTA:-0}"
+TELEMETRY_NS_GATE_SIZE="${TELEMETRY_NS_GATE_SIZE:-65536}"
 OUT="${OUT:-BENCH_roundloop.json}"
 RAW="$(mktemp)"
 PREV="$(mktemp)"
@@ -52,9 +68,12 @@ awk -v go_version="$(go version | awk '{print $3}')" \
     -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v gomaxprocs="$(nproc 2>/dev/null || echo 0)" \
     -v max_allocs="$MAX_STEADY_ALLOCS" \
-    -v gated="$GATED_BENCHES" '
+    -v gated="$GATED_BENCHES" \
+    -v tel_ns_pct="$TELEMETRY_MAX_NS_PCT" \
+    -v tel_alloc_delta="$TELEMETRY_MAX_ALLOC_DELTA" \
+    -v tel_ns_size="$TELEMETRY_NS_GATE_SIZE" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
-/^Benchmark(RouteOnly|SoupOnly|SoupOnlyEager|OverlayRepair|FullRound)\// {
+/^Benchmark(RouteOnly|SoupOnly|SoupOnlyEager|OverlayRepair|FullRound|FullRoundTelemetry)\// {
   name = $1
   sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
   ns = allocs = bytes = moves = "null"
@@ -67,6 +86,7 @@ awk -v go_version="$(go version | awk '{print $3}')" \
     if ($(i+1) == "repairs/round") repairs = sprintf(", \"repairs_per_round\": %s", $i)
   }
   rows[++n] = sprintf("    {\"name\": \"%s\", \"ns_per_round\": %s, \"allocs_per_round\": %s, \"bytes_per_round\": %s, \"token_moves_per_s\": %s%s}", name, ns, allocs, bytes, moves, repairs)
+  ns_by[name] = ns; allocs_by[name] = allocs
   if (name ~ gated && allocs != "null" && allocs + 0 > max_allocs + 0) {
     printf "FAIL: %s allocates %s/round, budget is %s\n", name, allocs, max_allocs > "/dev/stderr"
     bad = 1
@@ -74,6 +94,23 @@ awk -v go_version="$(go version | awk '{print $3}')" \
 }
 END {
   if (n == 0) { print "FAIL: no benchmark results parsed" > "/dev/stderr"; exit 1 }
+  # Telemetry tax gate: FullRoundTelemetry vs FullRound at the same size.
+  for (tn in ns_by) {
+    if (tn !~ /^FullRoundTelemetry\//) continue
+    base = tn; sub(/Telemetry/, "", base)
+    if (!(base in ns_by)) continue
+    if (tn ~ ("/n=" tel_ns_size "$") && ns_by[tn] != "null" && ns_by[base] != "null") {
+      pct = 100 * (ns_by[tn] - ns_by[base]) / ns_by[base]
+      if (pct > tel_ns_pct + 0) {
+        printf "FAIL: %s is %.1f%% slower than %s, budget is %s%%\n", tn, pct, base, tel_ns_pct > "/dev/stderr"
+        bad = 1
+      }
+    }
+    if (allocs_by[tn] != "null" && allocs_by[base] != "null" && allocs_by[tn] - allocs_by[base] > tel_alloc_delta + 0) {
+      printf "FAIL: %s allocates %s/round vs %s for %s, budget is +%s\n", tn, allocs_by[tn], allocs_by[base], base, tel_alloc_delta > "/dev/stderr"
+      bad = 1
+    }
+  }
   printf "{\n  \"generated\": \"%s\",\n  \"commit\": \"%s\",\n  \"go\": \"%s\",\n  \"cpu\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"max_steady_allocs\": %s,\n  \"benchmarks\": [\n", date, commit, go_version, cpu, gomaxprocs, max_allocs
   for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
   printf "  ]\n}\n"

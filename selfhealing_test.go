@@ -41,7 +41,7 @@ func selfHealingRun(t *testing.T, n int, mode EdgeMode, spectralEvery int) (int,
 	for round := 0; round < 200; round += ttl + 2 {
 		for k := 0; k < keys; k++ {
 			for i := 0; i < 12; i++ {
-				nw.Retrieve(((1+round)*(k+3)+i*37) % n, uint64(100+k), data[k])
+				nw.Retrieve(((1+round)*(k+3)+i*37)%n, uint64(100+k), data[k])
 			}
 		}
 		nw.Run(ttl + 2)
