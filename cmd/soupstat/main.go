@@ -14,10 +14,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
+
+	"syscall"
 
 	"dynp2p/internal/churn"
 	"dynp2p/internal/expander"
+	"dynp2p/internal/overlay"
 	"dynp2p/internal/simnet"
 	"dynp2p/internal/stats"
 	"dynp2p/internal/walks"
@@ -31,16 +35,33 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed")
 	lazy := flag.Bool("lazy", false, "use lazy walks (stay-put coin)")
 	store := flag.String("store", "auto", "token store: auto|lazy|eager (auto = lazy trajectory evaluation when uncapped)")
+	edges := flag.String("edges", "rerandomize", "topology: rerandomize|selfhealing|static (selfhealing attaches the overlay repair hook)")
+	memLimit := flag.Float64("memlimit", 0, "soft heap limit in GiB (0 = runtime default). The soup's cohort caches are pointer-free, so capping the GC heap target well below GOGC's 2x-live default costs little mark time and bounds peak RSS")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
 
+	if *memLimit > 0 {
+		debug.SetMemoryLimit(int64(*memLimit * (1 << 30)))
+	}
 	var law churn.Law = churn.ZeroLaw{}
 	if *c > 0 {
 		law = churn.PaperLaw(*c, *delta)
 	}
+	var mode expander.EdgeMode
+	switch *edges {
+	case "rerandomize":
+		mode = expander.Rerandomize
+	case "selfhealing":
+		mode = expander.SelfHealing
+	case "static":
+		mode = expander.Static
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -edges %q (want rerandomize|selfhealing|static)\n", *edges)
+		os.Exit(2)
+	}
 	e := simnet.New(simnet.Config{
-		N: *n, Degree: 8, EdgeMode: expander.Rerandomize,
+		N: *n, Degree: 8, EdgeMode: mode,
 		AdversarySeed: *seed, ProtocolSeed: *seed + 1,
 		Strategy: churn.Uniform, Law: law,
 	})
@@ -59,10 +80,15 @@ func main() {
 	}
 	s := walks.NewSoup(e, p, 0)
 	e.AddHook(s)
+	var ov *overlay.Overlay
+	if mode == expander.SelfHealing {
+		ov = overlay.New(e, s, overlay.Config{})
+		e.AddHook(ov)
+	}
 
 	storeName := [...]string{"auto", "capped", "eager", "lazy-eval"}[s.Params().Store]
-	fmt.Printf("n=%d churn=%d/round walk-len=%d walks/node/round=%d lazy=%v store=%s\n",
-		*n, law.PerRound(*n, 0), p.WalkLength, p.WalksPerRound, *lazy, storeName)
+	fmt.Printf("n=%d churn=%d/round walk-len=%d walks/node/round=%d lazy=%v store=%s edges=%s shards=%d\n",
+		*n, law.PerRound(*n, 0), p.WalkLength, p.WalksPerRound, *lazy, storeName, *edges, e.Grid().Count())
 
 	// Profiling brackets the simulated rounds, not setup or reporting.
 	stopCPU := startCPUProfile(*cpuProfile)
@@ -75,13 +101,34 @@ func main() {
 		window = 3 * p.WalkLength
 	}
 	counts := make([]int, *n)
+	// The receipt distribution is sampled on a fixed slot stride above
+	// n=2^16 so the measurement arrays stay bounded (~100 MB of float64s
+	// over a 200-round 2^20 run would otherwise dominate the tool's own
+	// footprint and pollute the peak-RSS report).
+	recStride := max(1, *n>>16)
 	var receipts []float64
 	for r := 0; r < window; r++ {
 		e.RunRound(simnet.NopHandler{})
 		for slot := 0; slot < *n; slot++ {
 			got := len(s.Samples(slot))
 			counts[slot] += got
-			receipts = append(receipts, float64(got))
+			if slot%recStride == 0 {
+				receipts = append(receipts, float64(got))
+			}
+		}
+		// Touch the metrics every round. On the lazy store this advances
+		// each in-flight cohort's cached positions incrementally (the
+		// graceful query-every-round path), so the exact end-of-run
+		// metrics never one-shot materialize every live cohort at once —
+		// at n=2^20 that single deferred sync transiently costs several
+		// GB of fresh cohort buffers on top of the run's footprint.
+		_ = s.Metrics()
+		if (r+1)%50 == 0 {
+			var ru syscall.Rusage
+			if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err == nil {
+				fmt.Printf("round %d/%d: peak RSS %.2f GB\n",
+					r+1, window, float64(ru.Maxrss)/(1<<20))
+			}
 		}
 	}
 	stopCPU()
@@ -99,6 +146,22 @@ func main() {
 		sm.Mean, sm.P05, sm.Median, sm.P95)
 	fmt.Printf("in-flight tokens at end: %d (%.1f per node)\n",
 		s.TotalTokens(), float64(s.TotalTokens())/float64(*n))
+	if ov != nil {
+		om := ov.Metrics()
+		fmt.Printf("overlay: severed=%d splices=%d direct-pairs=%d stale-samples=%d\n",
+			om.PortsSevered, om.Splices, om.DirectPairs, om.StaleSamples)
+		if err := e.Graph().CheckRegular(); err != nil {
+			fmt.Fprintf(os.Stderr, "topology check failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("topology: %d-regular invariant holds after %d rounds\n",
+			e.Graph().Degree(), e.Round())
+	}
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err == nil {
+		// Linux reports ru_maxrss in KiB.
+		fmt.Printf("peak RSS: %.2f GB (%d KB)\n", float64(ru.Maxrss)/(1<<20), ru.Maxrss)
+	}
 }
 
 func total(xs []int) int {

@@ -120,6 +120,12 @@ type Config struct {
 	// fixed order (see DESIGN.md §6). TestWorkerCountIndependence
 	// enforces this.
 	Workers int
+	// Shards pins the slot-shard grid count (a power of two ≤ 256). 0
+	// lets the engine pick from N and GOMAXPROCS. Results are a pure
+	// function of (Seed, parameters, shard count) at any Workers value;
+	// pin Shards to reproduce a run bit-identically across machines with
+	// different core counts.
+	Shards int
 	// Edges selects the topology's edge dynamics. The zero value is
 	// EdgesRerandomize (the oracle draws a fresh expander every round).
 	// EdgesSelfHealing turns the oracle off after round 0 and lets the
@@ -202,6 +208,7 @@ func NewCustom(cfg Config, adjust func(*walks.Params, *protocol.Params)) *Networ
 		N: cfg.N, Degree: cfg.Degree, EdgeMode: mode, EdgePeriod: cfg.EdgePeriod,
 		AdversarySeed: cfg.Seed, ProtocolSeed: cfg.Seed + 1,
 		Strategy: cfg.Strategy, Law: law, Fault: cfg.Fault, Workers: cfg.Workers,
+		Shards: cfg.Shards,
 	})
 	wp := walks.DefaultParams(cfg.N)
 	pp := protocol.DefaultParams(cfg.N, wp.WalkLength)

@@ -177,6 +177,30 @@ func BenchmarkFullRound(b *testing.B) {
 	}
 }
 
+// matrixSizes returns the sizes BenchmarkRoundMatrix runs at: the
+// acceptance size and the paper-scale 2^20 point the delta-encoded walk
+// ring and adaptive shard grid exist for. The 2^20 row is minutes of
+// warmup, so -short drops to the reference size.
+func matrixSizes() []int {
+	if testing.Short() {
+		return []int{4096}
+	}
+	return []int{65536, 1 << 20}
+}
+
+// BenchmarkRoundMatrix is the multi-core scaling matrix: the canonical
+// FullRound body, run by scripts/bench.sh under -cpu 1,2,4 so every row
+// appears at GOMAXPROCS ∈ {1,2,4}. GOMAXPROCS here governs both the
+// engine's default worker count and the adaptive shard-grid pick, so the
+// matrix exercises the full parallel configuration space, not just the
+// scheduler. Kept separate from BenchmarkFullRound so the committed
+// single-core trajectory rows stay name-compatible with the baselines.
+func BenchmarkRoundMatrix(b *testing.B) {
+	for _, n := range matrixSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { FullRound(b, n) })
+	}
+}
+
 // BenchmarkFullRoundTelemetry is BenchmarkFullRound with full tracing
 // (sample rate 1) and the round-phase profiler enabled: the telemetry-tax
 // row. scripts/bench.sh gates its deltas against the FullRound row — at

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+
+	"dynp2p/internal/churn"
+	"dynp2p/internal/expander"
+	"dynp2p/internal/overlay"
+	"dynp2p/internal/simnet"
+	"dynp2p/internal/walks"
+)
+
+// TestMillionNodeSmoke constructs the paper-scale n=2^20 soup +
+// self-healing stack under paper churn and runs three rounds: a fast
+// structural check that construction (expander build, adaptive shard
+// grid, delta-ring allocation) and the first churn/repair rounds work at
+// the size the 200-round EXPERIMENTS.md run certifies. It runs under
+// -short by design — it is the scale leg of the CI -short matrix — and
+// costs tens of seconds, dominated by the first rounds' walk generation.
+func TestMillionNodeSmoke(t *testing.T) {
+	const n = 1 << 20
+	e := simnet.New(simnet.Config{
+		N: n, Degree: 8, EdgeMode: expander.SelfHealing,
+		AdversarySeed: 1, ProtocolSeed: 2, Law: churn.PaperLaw(1, 0.5),
+	})
+	p := walks.DefaultParams(n)
+	soup := walks.NewSoup(e, p, 0)
+	e.AddHook(soup)
+	ov := overlay.New(e, soup, overlay.Config{})
+	e.AddHook(ov)
+	e.Run(simnet.NopHandler{}, 3)
+	if got := soup.Metrics().Generated; got < 3*int64(n)*int64(p.WalksPerRound)/2 {
+		t.Fatalf("soup generated %d walks in 3 rounds, want >= 1.5*n*WalksPerRound", got)
+	}
+	if m := ov.Metrics(); m.PortsSevered == 0 || m.Splices+m.DirectPairs == 0 {
+		t.Fatalf("overlay idle at 2^20 under paper churn: %+v", m)
+	}
+	if err := e.Graph().CheckRegular(); err != nil {
+		t.Fatal(err)
+	}
+}

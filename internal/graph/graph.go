@@ -23,6 +23,7 @@ type Graph struct {
 	n, d int
 	adj  []int32 // adj[v*d+p] = p-th neighbour of v
 	perm []int32 // scratch for the Fill* constructors, reused across rounds
+	j    *journal
 }
 
 // New returns an edgeless graph shell with capacity for n vertices of
@@ -58,7 +59,21 @@ func (g *Graph) Neighbor(v, p int) int32 { return g.adj[v*g.d+p] }
 
 // SetPort sets the p-th adjacency port of v. It is the caller's job to keep
 // the multigraph consistent (each undirected edge appears once per side).
-func (g *Graph) SetPort(v, p int, w int32) { g.adj[v*g.d+p] = w }
+// When a change journal is enabled the write is recorded (see
+// EnableJournal); SetPort is the single journaled mutation point — every
+// incremental rewire (overlay splice, churn severing) goes through it.
+func (g *Graph) SetPort(v, p int, w int32) {
+	idx := v*g.d + p
+	if g.j != nil {
+		g.j.record(int32(idx), g.adj[idx], w)
+	}
+	g.adj[idx] = w
+}
+
+// setPortBulk is SetPort without the journal hook, for the Fill*
+// constructors: they rewrite every port and report a single journal
+// disruption instead of n·d delta entries.
+func (g *Graph) setPortBulk(v, p int, w int32) { g.adj[v*g.d+p] = w }
 
 // RandomNeighbor returns a uniformly random neighbour of v.
 func (g *Graph) RandomNeighbor(v int, r *rng.Stream) int32 {
@@ -97,6 +112,7 @@ func (g *Graph) FillRandomRegular(r *rng.Stream) {
 	if g.d%2 != 0 {
 		panic("graph: FillRandomRegular requires even degree")
 	}
+	g.j.disrupt()
 	half := g.d / 2
 	perm := g.permScratch()
 	for k := 0; k < half; k++ {
@@ -108,8 +124,8 @@ func (g *Graph) FillRandomRegular(r *rng.Stream) {
 			perm[i], perm[j] = perm[j], perm[i]
 		}
 		for i := 0; i < g.n; i++ {
-			g.SetPort(i, 2*k, perm[i])
-			g.SetPort(int(perm[i]), 2*k+1, int32(i))
+			g.setPortBulk(i, 2*k, perm[i])
+			g.setPortBulk(int(perm[i]), 2*k+1, int32(i))
 		}
 	}
 }
@@ -119,9 +135,10 @@ func (g *Graph) FillRandomRegular(r *rng.Stream) {
 // when n is odd guarantees non-bipartiteness deterministically; used by
 // tests and as a topology option.
 func (g *Graph) FillRingPlusRandom(r *rng.Stream) {
+	g.j.disrupt()
 	for i := 0; i < g.n; i++ {
-		g.SetPort(i, 0, int32((i+1)%g.n))
-		g.SetPort(i, 1, int32((i-1+g.n)%g.n))
+		g.setPortBulk(i, 0, int32((i+1)%g.n))
+		g.setPortBulk(i, 1, int32((i-1+g.n)%g.n))
 	}
 	half := g.d / 2
 	perm := g.permScratch()
@@ -134,8 +151,8 @@ func (g *Graph) FillRingPlusRandom(r *rng.Stream) {
 			perm[i], perm[j] = perm[j], perm[i]
 		}
 		for i := 0; i < g.n; i++ {
-			g.SetPort(i, 2*k, perm[i])
-			g.SetPort(int(perm[i]), 2*k+1, int32(i))
+			g.setPortBulk(i, 2*k, perm[i])
+			g.setPortBulk(int(perm[i]), 2*k+1, int32(i))
 		}
 	}
 }

@@ -36,20 +36,45 @@
 // runs — including oracle-maintained ones — can chart their spectral gap
 // round by round (surfaced through dynp2p.Stats and scenario traces).
 //
-// Determinism: all repair work runs serially inside the round hook and
-// draws randomness from streams derived from the protocol seed, so runs
-// are bit-identical at every worker count (the engine's contract). The
-// repair cost is O(churned·d) with all scratch reused: steady-state
+// Parallelism and determinism: repair is a three-phase pass over the
+// engine's slot-shard grid, bit-identical at every worker count.
+//
+//  1. Sever (parallel): each shard scans the churned slots in its slot
+//     range and emits, in (slot, port) order, the port pairs of severed
+//     edges whose canonical side it owns (when both endpoints churned,
+//     the lower-indexed port emits). The scan only reads the adjacency
+//     and the reciprocal-port table; per-shard segments are then merged
+//     into the dangling-port pool in fixed shard index order — which is
+//     ascending slot order, the same canonical pool the serial code
+//     built — and the dangling bits are set serially.
+//  2. Propose (parallel): after a serial seeded shuffle pairs the pool
+//     off, each pair's splice target is chosen against the FROZEN
+//     post-sever adjacency by a scratch RNG stream reseeded from
+//     hash(seed, round, pair index) — randomness is a pure function of
+//     the pair, not of any shared stream's consumption order, so any
+//     worker may evaluate any pair. Proposals only avoid dangling ports,
+//     and heals only clear dangling bits, so a proposal can never be
+//     invalidated by the heals that precede it.
+//  3. Apply (serial): heals execute in pair order, splicing each pair
+//     through its proposed edge as that edge stands now (an earlier
+//     splice may have rotated the peer — the splice is degree-exact
+//     either way) and updating the reciprocal-port table in place.
+//
+// All randomness derives from the protocol seed, so runs are a pure
+// function of (seeds, parameters, shard count) — the engine's contract.
+// The repair cost is O(churned·d) with all scratch reused: steady-state
 // rounds allocate nothing (benchmarked by BenchmarkOverlayRepair).
 package overlay
 
 import (
 	"fmt"
 	"slices"
+	"sort"
 
 	"dynp2p/internal/expander"
 	"dynp2p/internal/graph"
 	"dynp2p/internal/rng"
+	"dynp2p/internal/shard"
 	"dynp2p/internal/simnet"
 	"dynp2p/internal/telemetry"
 	"dynp2p/internal/walks"
@@ -102,12 +127,16 @@ type Metrics struct {
 // engine *after* the walk soup (repair consumes the round's fresh
 // samples, and its rewiring must not race the soup's adjacency snapshot).
 type Overlay struct {
-	cfg  Config
-	n, d int
-	soup *walks.Soup
+	cfg     Config
+	n, d    int
+	soup    *walks.Soup
+	grid    shard.Grid
+	workers int
 
-	r    *rng.Stream // repair decisions (pair shuffle, port probes)
-	tele *rng.Stream // spectral probe vectors
+	r        *rng.Stream   // pair shuffle (serial, one draw sequence per round)
+	tele     *rng.Stream   // spectral probe vectors
+	pairSeed uint64        // seeds the per-pair proposal streams
+	prng     []*rng.Stream // per-shard scratch streams, reseeded per pair
 
 	// active tracks whether the repair state (co, dang, ...) reflects the
 	// current graph. It drops whenever an oracle mode owns the edges and
@@ -123,17 +152,23 @@ type Overlay struct {
 	// dang marks dangling ports (bit v·d+p) during a repair round; bits
 	// are cleared as ports heal, so the mask is empty between rounds.
 	dang     []uint64
-	dangList []uint32 // dangling ports of the current round, then shuffled
-	churned  []int32  // sorted copy of the round's churned slots
+	dangList []uint32   // dangling ports of the current round, then shuffled
+	churned  []int32    // sorted copy of the round's churned slots
+	sevSegs  [][]uint32 // per-shard sever output, merged in shard order
+	props    []proposal // per-pair splice proposals
+	staleSeg []int64    // per-shard stale-sample tallies, merged serially
 
 	color []int8  // bipartiteness guard scratch
 	stack []int32 // bipartiteness guard scratch
 	x, y  []float64
 
 	repairRounds int64 // rounds in which repairs ran (guard cadence)
-	smpRot       uint32
 	m            Metrics
 }
+
+// proposal is one pair's splice target from the parallel propose phase:
+// splice through port q of w, or connect the pair directly when w < 0.
+type proposal struct{ w, q int32 }
 
 // New creates an overlay for the engine and its walk soup. The caller
 // must register it via e.AddHook *after* the soup hook.
@@ -150,14 +185,23 @@ func New(e *simnet.Engine, soup *walks.Soup, cfg Config) *Overlay {
 	// randomness can ever be correlated with the repair streams.
 	seed := e.Config().ProtocolSeed
 	o := &Overlay{
-		cfg:  cfg,
-		n:    e.N(),
-		d:    e.Degree(),
-		soup: soup,
-		r:    rng.Derive(seed, 1<<63|0x0e71a),
-		tele: rng.Derive(seed, 1<<63|0x57ec7),
-		m:    Metrics{LambdaRound: -1, LambdaMaxRound: -1},
+		cfg:      cfg,
+		n:        e.N(),
+		d:        e.Degree(),
+		soup:     soup,
+		grid:     e.Grid(),
+		workers:  e.Workers(),
+		r:        rng.Derive(seed, 1<<63|0x0e71a),
+		tele:     rng.Derive(seed, 1<<63|0x57ec7),
+		pairSeed: rng.Hash(seed, 1<<63|0x9a17c),
+		m:        Metrics{LambdaRound: -1, LambdaMaxRound: -1},
 	}
+	o.prng = make([]*rng.Stream, o.grid.Count())
+	for i := range o.prng {
+		o.prng[i] = rng.New(0) // reseeded per pair; the seed here is moot
+	}
+	o.sevSegs = make([][]uint32, o.grid.Count())
+	o.staleSeg = make([]int64, o.grid.Count())
 	if cfg.SpectralEvery > 0 {
 		o.x = make([]float64, o.n)
 		o.y = make([]float64, o.n)
@@ -192,7 +236,7 @@ func (o *Overlay) StepRound(e *simnet.Engine, round int) {
 		if !o.active {
 			o.activate(g)
 		}
-		o.repair(e, g)
+		o.repair(e, g, round)
 	} else {
 		// An oracle owns the edges: our port bookkeeping goes stale the
 		// moment it rewires, so rebuild on the next activation.
@@ -274,7 +318,9 @@ func (o *Overlay) clearDang(port int) {
 
 // repair severs every edge incident to a slot churned this round and
 // heals the resulting dangling ports pairwise through sampled edges.
-func (o *Overlay) repair(e *simnet.Engine, g *graph.Graph) {
+// See the package comment for the three-phase parallel structure and why
+// every phase is worker-count independent.
+func (o *Overlay) repair(e *simnet.Engine, g *graph.Graph, round int) {
 	batch := e.ChurnedThisRound()
 	if len(batch) == 0 {
 		return
@@ -282,25 +328,41 @@ func (o *Overlay) repair(e *simnet.Engine, g *graph.Graph) {
 	d := o.d
 	adj := g.Adjacency()
 
-	// Sever in canonical slot order. Each severed edge contributes its
-	// two port sides exactly once: a port already marked dangling was
-	// reached from its churned peer first.
 	o.churned = o.churned[:0]
 	for _, s := range batch {
 		o.churned = append(o.churned, int32(s))
 	}
 	slices.Sort(o.churned)
-	o.dangList = o.dangList[:0]
-	for _, s32 := range o.churned {
-		base := int(s32) * d
-		for p := 0; p < d; p++ {
-			if o.isDang(base + p) {
-				continue
+
+	// Phase 1 — sever (parallel, read-only). Each shard walks the churned
+	// slots in its slot range and emits each severed edge's two port sides
+	// exactly once: the churned side emits, and when both endpoints
+	// churned, the lower-indexed port does (a degenerate one-port
+	// self-loop stays wired — the newcomer inherits it, degree intact).
+	o.grid.Run(o.workers, func(sh int) {
+		lo, hi := o.grid.Bounds(sh, o.n)
+		seg := o.sevSegs[sh][:0]
+		i := sort.Search(len(o.churned), func(i int) bool { return int(o.churned[i]) >= lo })
+		for ; i < len(o.churned) && int(o.churned[i]) < hi; i++ {
+			base := int(o.churned[i]) * d
+			for p := 0; p < d; p++ {
+				vp := base + p
+				wp := int(adj[vp])*d + int(o.co[vp])
+				if wp != vp && !(e.ReplacedInRound(int(adj[vp]), round) && wp < vp) {
+					seg = append(seg, uint32(vp), uint32(wp))
+				}
 			}
-			wp := int(adj[base+p])*d + int(o.co[base+p])
-			o.setDang(base + p)
-			o.setDang(wp)
-			o.dangList = append(o.dangList, uint32(base+p), uint32(wp))
+		}
+		o.sevSegs[sh] = seg
+	})
+	// Fixed-order merge: shard ranges are contiguous and ascending, so
+	// concatenating segments in shard index order rebuilds the canonical
+	// slot-ordered dangling pool the serial sever produced.
+	o.dangList = o.dangList[:0]
+	for sh := range o.sevSegs {
+		for _, port := range o.sevSegs[sh] {
+			o.setDang(int(port))
+			o.dangList = append(o.dangList, port)
 		}
 	}
 	o.m.PortsSevered += int64(len(o.dangList))
@@ -310,14 +372,44 @@ func (o *Overlay) repair(e *simnet.Engine, g *graph.Graph) {
 
 	// Shuffle the dangling ports (a node finds its repair partner by a
 	// random rendezvous, not by adjacency order — this is what keeps a
-	// dead node's neighborhood from collapsing into a clique), then heal
-	// consecutive pairs.
+	// dead node's neighborhood from collapsing into a clique), then pair
+	// consecutive entries.
 	for i := len(o.dangList) - 1; i > 0; i-- {
 		j := o.r.Intn(i + 1)
 		o.dangList[i], o.dangList[j] = o.dangList[j], o.dangList[i]
 	}
-	for i := 0; i+1 < len(o.dangList); i += 2 {
-		o.heal(e, g, adj, int(o.dangList[i]), int(o.dangList[i+1]))
+
+	// Phase 2 — propose (parallel, frozen adjacency). Each pair's splice
+	// target is a pure function of (seed, round, pair index) and the
+	// post-sever graph, evaluated by whichever shard owns the pair range.
+	pairs := len(o.dangList) / 2
+	if cap(o.props) < pairs {
+		o.props = make([]proposal, pairs, max(pairs, 2*cap(o.props)))
+	} else {
+		o.props = o.props[:pairs]
+	}
+	roundSeed := rng.Hash(o.pairSeed, uint64(round))
+	nsh := o.grid.Count()
+	o.grid.Run(o.workers, func(sh int) {
+		pr := o.prng[sh]
+		var stale int64
+		for i := pairs * sh / nsh; i < pairs*(sh+1)/nsh; i++ {
+			pr.ReseedDerived(roundSeed, uint64(i))
+			a, b := int(o.dangList[2*i]), int(o.dangList[2*i+1])
+			w, q, st := o.pickEdge(e, adj, a/d, b/d, pr)
+			o.props[i] = proposal{w: int32(w), q: int32(q)}
+			stale += st
+		}
+		o.staleSeg[sh] = stale
+	})
+	for sh := range o.staleSeg {
+		o.m.StaleSamples += o.staleSeg[sh]
+		o.staleSeg[sh] = 0
+	}
+
+	// Phase 3 — apply (serial, pair order).
+	for i := 0; i < pairs; i++ {
+		o.heal(g, adj, int(o.dangList[2*i]), int(o.dangList[2*i+1]), o.props[i])
 	}
 
 	o.repairRounds++
@@ -326,15 +418,18 @@ func (o *Overlay) repair(e *simnet.Engine, g *graph.Graph) {
 	}
 }
 
-// heal fills dangling ports a and b. Preferred: splice both through one
-// sampled edge (w,x), replacing it with (ua,w) and (ub,x). Fallback:
-// connect a and b directly. Both are degree-exact, and both update the
-// reciprocal-port table in place.
-func (o *Overlay) heal(e *simnet.Engine, g *graph.Graph, adj []int32, a, b int) {
+// heal fills dangling ports a and b per the pair's proposal. Preferred:
+// splice both through the proposed live edge (w,x), replacing it with
+// (ua,w) and (ub,x) — the edge is read as it stands NOW, so earlier heals
+// may have rotated x since the propose phase, which is fine: the splice
+// is degree-exact against any live edge, and proposals only avoid
+// dangling ports, which heals never create. Fallback (w < 0): connect a
+// and b directly. Both update the reciprocal-port table in place.
+func (o *Overlay) heal(g *graph.Graph, adj []int32, a, b int, pick proposal) {
 	d := o.d
 	ua, pa := a/d, a%d
 	ub, pb := b/d, b%d
-	w, q := o.pickEdge(e, adj, ua, ub)
+	w, q := int(pick.w), int(pick.q)
 	if w < 0 {
 		g.SetPort(ua, pa, int32(ub))
 		g.SetPort(ub, pb, int32(ua))
@@ -370,27 +465,30 @@ func (o *Overlay) heal(e *simnet.Engine, g *graph.Graph, adj []int32, a, b int) 
 // and λ drifts up. The repairer therefore uses the sample only as an
 // entry point and takes spliceHops local random hops from it — two extra
 // messages in a real network — landing on an age-mixed node before
-// choosing the edge. Returns (-1, -1) when no candidate works (no
-// samples yet, every sampled source departed, or every port of the
-// landing node is itself dangling).
-func (o *Overlay) pickEdge(e *simnet.Engine, adj []int32, ua, ub int) (int, int) {
+// choosing the edge. All randomness comes from pr, the pair's private
+// stream, and all graph reads see the frozen post-sever adjacency, so
+// the choice is a pure per-pair function (the propose phase runs it from
+// any worker). Returns w = -1 when no candidate works (no samples yet,
+// every sampled source departed, or every port of the landing node is
+// itself dangling), plus the number of stale samples skipped.
+func (o *Overlay) pickEdge(e *simnet.Engine, adj []int32, ua, ub int, pr *rng.Stream) (int, int, int64) {
 	d := o.d
 	tried := 0
+	var stale int64
 	for _, src := range [2]int{ua, ub} {
 		smp := o.soup.Samples(src)
 		if len(smp) == 0 {
 			continue
 		}
-		// Rotate the starting sample across heals so one busy round
-		// spreads its splices over the whole sample set.
-		start := int(o.smpRot) % len(smp)
-		o.smpRot++
+		// Start at a random sample so one busy round spreads its splices
+		// over the whole sample set.
+		start := pr.Intn(len(smp))
 		for k := 0; k < len(smp) && tried < maxSampleTries; k++ {
 			sm := smp[(start+k)%len(smp)]
 			tried++
 			w, ok := e.SlotOf(sm.Src)
 			if !ok {
-				o.m.StaleSamples++
+				stale++
 				continue
 			}
 			// Hop only over live (non-dangling) ports: a severed link is
@@ -398,7 +496,7 @@ func (o *Overlay) pickEdge(e *simnet.Engine, adj []int32, ua, ub int) (int, int)
 			// through. If every port of an intermediate is dangling the
 			// probe stays put for that hop.
 			for hop := 0; hop < spliceHops; hop++ {
-				h0 := o.r.Intn(d)
+				h0 := pr.Intn(d)
 				for j := 0; j < d; j++ {
 					p := h0 + j
 					if p >= d {
@@ -410,19 +508,19 @@ func (o *Overlay) pickEdge(e *simnet.Engine, adj []int32, ua, ub int) (int, int)
 					}
 				}
 			}
-			r0 := o.r.Intn(d)
+			r0 := pr.Intn(d)
 			for j := 0; j < d; j++ {
 				q := r0 + j
 				if q >= d {
 					q -= d
 				}
 				if !o.isDang(w*d + q) {
-					return w, q
+					return w, q, stale
 				}
 			}
 		}
 	}
-	return -1, -1
+	return -1, -1, stale
 }
 
 // guard checks bipartiteness with preallocated scratch and, in the

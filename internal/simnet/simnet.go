@@ -150,6 +150,15 @@ type Config struct {
 	Fault         FaultModel     // message-level faults; nil = reliable links
 	Workers       int            // parallel handler workers; 0 = GOMAXPROCS
 
+	// Shards is the slot-shard grid count (power of two ≤ shard.MaxCount).
+	// 0 picks shard.Pick(N, GOMAXPROCS) — enough shards that the slot
+	// ranges stay cache-sized and every core finds work. New writes the
+	// resolved count back into the engine's Config. A run's results are a
+	// pure function of (seeds, parameters, shard count) at ANY worker
+	// count; runs that must reproduce bit-identically across machines
+	// with different core counts should pin Shards explicitly.
+	Shards int
+
 	// Telemetry is the metrics registry the engine (and everything built
 	// on it) reports into. nil = the engine creates a private one, so
 	// Metrics() and Telemetry() always work.
@@ -223,7 +232,7 @@ type routedRef struct {
 // buffers used.
 type routeShard struct {
 	out     []Msg         // handler output, canonical (slot, seq) order
-	xfer    [][]routedRef // [shard.Count] refs to messages bound for each destination shard
+	xfer    [][]routedRef // grid-sized: refs to messages bound for each destination shard
 	delayed []delayedMsg  // fault-delayed messages from this shard, canonical order
 	ctx     *Ctx          // reusable handler context for this shard's slots
 
@@ -233,6 +242,20 @@ type routeShard struct {
 	dropped      int64
 	faultDropped int64
 	delayedCnt   int64
+}
+
+// inboxArena is one destination shard's next-round message store: every
+// message bound for the shard's slots lands in one flat slot-major
+// buffer, placed by a counting sort over the exchange refs, and the
+// per-slot inbox views are sliced out of it. One geometrically-grown
+// buffer per shard replaces n per-slot append slices, whose record-maxima
+// growth kept the route gather allocating long into the steady state.
+// Views are capacity-clamped so a late append (the fault-delay insert
+// path) copies out instead of clobbering the neighbouring slot's run.
+type inboxArena struct {
+	msgs   []Msg
+	off    []int32 // len slots+1: slot lo+l owns msgs[off[l]:off[l+1]]
+	counts []int32 // placement scratch, len slots
 }
 
 // Engine is the simulator. Create with New, drive with RunRound.
@@ -254,8 +277,13 @@ type Engine struct {
 	// simulation lifetimes).
 	slotIndex []int32
 
-	inbox     [][]Msg // slot -> messages to deliver this round
-	nextInbox [][]Msg // slot -> messages accumulated for next round
+	inbox     [][]Msg // slot -> messages to deliver this round (arena views)
+	nextInbox [][]Msg // slot -> messages accumulated for next round (arena views)
+
+	// arenas are the double-buffered per-destination-shard inbox stores
+	// (inboxArena): round r's route writes arenas[r&1] while handlers read
+	// last round's views out of arenas[1-r&1].
+	arenas [2][]inboxArena
 
 	fault     FaultModel   // nil = reliable links
 	faultSeed uint64       // derived from the adversary seed
@@ -279,6 +307,8 @@ type Engine struct {
 	// one load resolves a destination slot's shard on the routing hot path
 	// instead of a hardware divide per message.
 	slotLoc []uint32
+
+	grid shard.Grid // slot-shard grid, fixed at construction
 
 	hooks     []RoundHook
 	hookNames []string // parallel to hooks, for profiler phase labels
@@ -317,6 +347,13 @@ func New(cfg Config) *Engine {
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = telemetry.NewRegistry()
 	}
+	var grid shard.Grid
+	if cfg.Shards > 0 {
+		grid = shard.New(cfg.Shards)
+	} else {
+		grid = shard.Pick(cfg.N, runtime.GOMAXPROCS(0))
+	}
+	cfg.Shards = grid.Count()
 	e := &Engine{
 		cfg: cfg,
 		topo: expander.New(expander.Config{
@@ -332,14 +369,23 @@ func New(cfg Config) *Engine {
 		fault:     cfg.Fault,
 		faultSeed: rng.Hash(cfg.AdversarySeed, 0xfa017),
 		workers:   workers,
-		shardOut:  make([]routeShard, shard.Count),
-		slotLoc:   shard.LocTable(cfg.N),
+		grid:      grid,
+		shardOut:  make([]routeShard, grid.Count()),
+		slotLoc:   grid.LocTable(cfg.N),
 		reg:       cfg.Telemetry,
 		em:        newEngineMetrics(cfg.Telemetry),
 	}
 	for sh := range e.shardOut {
-		e.shardOut[sh].xfer = make([][]routedRef, shard.Count)
+		e.shardOut[sh].xfer = make([][]routedRef, grid.Count())
 		e.shardOut[sh].ctx = &Ctx{}
+	}
+	for p := range e.arenas {
+		e.arenas[p] = make([]inboxArena, grid.Count())
+		for sh := range e.arenas[p] {
+			lo, hi := grid.Bounds(sh, cfg.N)
+			e.arenas[p][sh].off = make([]int32, hi-lo+1)
+			e.arenas[p][sh].counts = make([]int32, hi-lo)
+		}
 	}
 	e.nextID = 1
 	for s := 0; s < cfg.N; s++ {
@@ -397,6 +443,17 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // Graph returns the current topology over slots.
 func (e *Engine) Graph() *graph.Graph { return e.topo.Graph() }
+
+// Workers returns the engine's resolved worker count (Config.Workers
+// with 0 mapped to GOMAXPROCS and clamped to N). Round hooks that run
+// their own sharded passes use it so one knob controls the whole round.
+func (e *Engine) Workers() int { return e.workers }
+
+// Grid returns the engine's slot-shard grid, fixed at construction
+// (Config.Shards). Round hooks that shard their own per-slot state (the
+// walk soup, the self-healing overlay) use the same grid, so their
+// staging exchanges and the engine's agree on slot ownership.
+func (e *Engine) Grid() shard.Grid { return e.grid }
 
 // EdgeMode returns the topology's current edge-dynamics mode.
 func (e *Engine) EdgeMode() expander.EdgeMode { return e.cfg.EdgeMode }
@@ -748,11 +805,11 @@ func (e *Engine) RunRound(h Handler) {
 // buffer in (slot, seq) order, which is what makes the subsequent exchange
 // — and therefore every inbox — canonically ordered with no sorting.
 func (e *Engine) runHandlers(h Handler, round int) {
-	shard.Run(e.workers, func(sh int) {
+	e.grid.Run(e.workers, func(sh int) {
 		rs := &e.shardOut[sh]
 		rs.out = rs.out[:0]
 		rs.bits, rs.maxBits = 0, 0
-		lo, hi := shard.Bounds(sh, e.cfg.N)
+		lo, hi := e.grid.Bounds(sh, e.cfg.N)
 		ctx := rs.ctx
 		for s := lo; s < hi; s++ {
 			*ctx = Ctx{
@@ -786,7 +843,7 @@ func (e *Engine) runHandlers(h Handler, round int) {
 // index order, so each inbox receives messages ordered by (sender slot,
 // sequence) — the canonical order — regardless of worker count.
 func (e *Engine) route() {
-	shard.Run(e.workers, func(sh int) {
+	e.grid.Run(e.workers, func(sh int) {
 		rs := &e.shardOut[sh]
 		for dsh := range rs.xfer {
 			rs.xfer[dsh] = rs.xfer[dsh][:0]
@@ -818,11 +875,48 @@ func (e *Engine) route() {
 			rs.xfer[dsh] = append(rs.xfer[dsh], routedRef{slot: dst, idx: uint32(i)})
 		}
 	})
-	shard.Run(e.workers, func(dsh int) {
-		for ssh := 0; ssh < shard.Count; ssh++ {
+	e.grid.Run(e.workers, func(dsh int) {
+		// Counting-sort placement into the destination shard's flat arena
+		// (see inboxArena): count per slot, turn counts into offsets, then
+		// place each ref — source shards in fixed index order, so every
+		// slot's run keeps the canonical (srcSlot, seq) order — and slice
+		// the per-slot inbox views out of the buffer.
+		ga := &e.arenas[e.round&1][dsh]
+		counts := ga.counts
+		for i := range counts {
+			counts[i] = 0
+		}
+		loInt, _ := e.grid.Bounds(dsh, e.cfg.N)
+		lo := int32(loInt)
+		for ssh := range e.shardOut {
+			for _, ref := range e.shardOut[ssh].xfer[dsh] {
+				counts[ref.slot-lo]++
+			}
+		}
+		total := int(shard.Offsets(counts, ga.off))
+		if total == 0 {
+			return // every view was already reset empty in the deliver phase
+		}
+		if cap(ga.msgs) < total {
+			ga.msgs = make([]Msg, total, max(total, 2*cap(ga.msgs)))
+		} else {
+			ga.msgs = ga.msgs[:total]
+		}
+		copy(counts, ga.off[:len(counts)])
+		msgs := ga.msgs
+		for ssh := range e.shardOut {
 			src := e.shardOut[ssh].out
 			for _, ref := range e.shardOut[ssh].xfer[dsh] {
-				e.nextInbox[ref.slot] = append(e.nextInbox[ref.slot], src[ref.idx])
+				l := ref.slot - lo
+				pos := counts[l]
+				counts[l] = pos + 1
+				msgs[pos] = src[ref.idx]
+			}
+		}
+		for l := range counts {
+			a, b := ga.off[l], ga.off[l+1]
+			if a != b {
+				e.nextInbox[int(lo)+l] = msgs[a:b:b]
 			}
 		}
 	})

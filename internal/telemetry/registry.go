@@ -30,9 +30,11 @@ import (
 	"dynp2p/internal/shard"
 )
 
-// NumShards is the width of the registry's cell grid — the engine's fixed
-// shard count, so handler code can pass its shard index straight through.
-const NumShards = shard.Count
+// NumShards is the width of the registry's cell grid — the largest shard
+// count any engine grid can have (shard.MaxCount), so handler code can
+// pass its shard index straight through whatever grid the engine picked.
+// Smaller grids simply leave the upper cells untouched.
+const NumShards = shard.MaxCount
 
 // HistBuckets is the number of log₂ histogram buckets: bucket b counts
 // observations v with bits.Len64(v) == b, i.e. bucket 0 holds v <= 0,

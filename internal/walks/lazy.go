@@ -6,16 +6,38 @@ package walks
 // (src, birth, serial), the evolving topology, and the churn record: the
 // per-round staged exchange can be deleted outright. Instead of moving
 // every in-flight token every round, StepRound records only the round's
-// inputs — the adjacency snapshot, the post-churn occupant ids, and the
-// per-slot arrival counts — in a (T+2)-deep ring (churn itself lives in
-// the engine's bounded ReplacedInRound history), and replays one birth
-// cohort's full trajectory at its delivery round birth+T-1, with
-// per-step death checks against the ring. Fresh cohorts need no storage
-// at all: every live slot mints WalksPerRound implicit walks, and Inject
-// records explicit extras; a cohort's tokens are materialized once, at
-// delivery, and their buffer is recycled. Steady-state soup state
-// therefore drops from 16 bytes per in-flight token (the staged store,
-// double-buffered) to a handful of table rows per round.
+// inputs in a (T+2)-deep ring (churn itself lives in the engine's bounded
+// ReplacedInRound history), and replays one birth cohort's full
+// trajectory at its delivery round birth+T-1, with per-step death checks
+// against the ring. Fresh cohorts need no storage at all: every live slot
+// mints WalksPerRound implicit walks, and Inject records explicit extras;
+// a cohort's tokens are materialized once, at delivery, and their buffer
+// is recycled.
+//
+// The ring is DELTA-ENCODED (DESIGN.md §9). A ring entry does not hold
+// the round's full n·d adjacency snapshot; it holds the round's port
+// rewires, drained from the graph's change journal — O(churn·d) entries
+// per round under incremental topologies (self-healing, static), which
+// is what makes n ≥ 2²⁰ rings fit in memory. Rounds whose topology was
+// bulk-rewritten (the Rerandomize oracle, an over-limit churn burst) are
+// recorded as full snapshots instead, so the oracle modes degrade to the
+// old cost rather than breaking. Three materialized rows navigate the
+// ring:
+//
+//   - tailRow: the adjacency at the ring's oldest still-needed round,
+//     advanced forward one round per delivery (and aliasing a snapshot
+//     entry outright when one is on file for the tail round).
+//   - repRow: the replay scratch row, stepped forward through the ring
+//     by applying each round's deltas — or backward by unapplying them,
+//     deltas being reversible — as cohort replays demand rows.
+//   - tailIds/idRow: the same scheme for the per-round occupant-id
+//     table, whose per-round delta is exactly the churned slots.
+//
+// Replay is round-major at every worker count: all shards step a cohort
+// through round r against the one materialized row, then a barrier
+// advances the row to r+1 (its last-arriver callback applies the deltas
+// serially). Shard-major replay died with the snapshots — there is no
+// longer a per-round row to read at random.
 //
 // Two parts are retrospective and make the representation exact, not
 // approximate:
@@ -41,8 +63,10 @@ package walks
 
 import (
 	"math/bits"
+	"sync"
 	"sync/atomic"
 
+	"dynp2p/internal/graph"
 	"dynp2p/internal/shard"
 	"dynp2p/internal/simnet"
 )
@@ -65,12 +89,25 @@ type injRec struct {
 	id    simnet.NodeID
 }
 
-// lazyRound is one ring entry of recorded round inputs.
+// idDelta records one occupant change: slot's occupant became id in the
+// entry's round. Applied forward in ring order these transform one
+// round's id table into the next — churn is the only occupant writer.
+type idDelta struct {
+	slot int32
+	id   simnet.NodeID
+}
+
+// lazyRound is one ring entry of recorded round inputs: the round's
+// adjacency TRANSITION (deltas from the previous round's row, or a full
+// snapshot when the interval was disrupted) plus the round's occupant
+// changes.
 type lazyRound struct {
-	round    int32 // validity tag; -1 = empty
-	anyChurn bool
-	row      []int32         // n·d adjacency snapshot for the round
-	ids      []simnet.NodeID // occupant ids after the round's churn
+	round     int32 // validity tag; -1 = empty
+	anyChurn  bool
+	disrupted bool              // snap holds the round's full row; deltas void
+	deltas    []graph.PortDelta // row(round-1) → row(round), when !disrupted
+	snap      []int32           // full n·d row, allocated on first disruption
+	idDeltas  []idDelta         // occupant changes in this round (churned slots)
 }
 
 // lazyCohort tracks one birth cohort's evaluation state. Its token
@@ -97,6 +134,22 @@ type lazySoup struct {
 	cohorts []lazyCohort
 	pending []injRec // injections for the next stepped round
 
+	// Adjacency cursors over the delta ring (see the package comment).
+	tailRound int     // oldest round any future replay can need
+	tailRow   []int32 // row(tailRound); aliases a ring snap when tailOwn is false
+	tailOwn   bool
+	tailBuf   []int32 // tailRow's owned backing store
+	repRound  int     // round repRow holds; -1 = unset
+	repRow    []int32 // replay scratch row, stepped through the ring by deltas
+
+	// Occupant-id cursors, same discipline (ids are never disrupted:
+	// churn is their only writer and it is always incremental).
+	tailIds []simnet.NodeID // ids at tailRound
+	idRound int             // round idRow holds; -1 = unset
+	idRow   []simnet.NodeID
+
+	bar *shard.Barrier // round-major replay barrier, reused across advances
+
 	// atomicArrive: with >1 workers, shards replay concurrently and land
 	// tokens on arbitrary slots, so arrival-count increments go through
 	// atomics; counts are additive, so the sums — and everything derived
@@ -105,8 +158,10 @@ type lazySoup struct {
 	countsOK     bool // per-shard counts caches reflect current state
 }
 
-// newLazySoup builds the ring. All per-round tables are allocated up
-// front so the steady-state round loop never grows them.
+// newLazySoup builds the ring. Cursor rows and per-round tables are
+// allocated up front; per-round delta lists and snapshot fallbacks grow
+// on demand (a steady incremental topology never allocates a snapshot
+// beyond the first round's).
 func newLazySoup(e *simnet.Engine, s *Soup) *lazySoup {
 	T := s.p.WalkLength
 	depth := T + 2
@@ -114,41 +169,207 @@ func newLazySoup(e *simnet.Engine, s *Soup) *lazySoup {
 	lz := &lazySoup{
 		T: T, depth: depth, d: d, eng: e,
 		firstRound: -1, lastRound: -1,
+		tailRound: -1, repRound: -1, idRound: -1,
 		atomicArrive: s.workers > 1,
 		rounds:       make([]lazyRound, depth),
 		arrives:      make([][]int32, depth),
 		cohorts:      make([]lazyCohort, depth),
+		tailBuf:      make([]int32, n*d),
+		repRow:       make([]int32, n*d),
+		tailIds:      make([]simnet.NodeID, 0, n),
+		idRow:        make([]simnet.NodeID, 0, n),
+		bar:          shard.NewBarrier(1),
 	}
 	for i := range lz.rounds {
 		lz.rounds[i].round = -1
-		lz.rounds[i].row = make([]int32, n*d)
-		lz.rounds[i].ids = make([]simnet.NodeID, 0, n)
 		lz.arrives[i] = make([]int32, n)
 		lz.cohorts[i].round = -1
 	}
 	for i := range s.shards {
 		s.shards[i].lzToks = make([][]replayTok, depth)
 	}
+	// The ring consumes the graph's change journal: every incremental
+	// rewire between soup observations becomes one 12-byte delta; bulk
+	// rewrites surface as drain-time disruptions. The limit keeps a
+	// worst-case round's delta bytes well under snapshot cost.
+	e.Graph().EnableJournal(n * d / 8)
 	// Replays need exact per-round death checks for up to T rounds back,
 	// beyond what the engine's latest-occupancy record can answer.
 	e.RetainReplacedHistory(depth)
 	return lz
 }
 
-// stepLazy is the lazy store's StepRound: record the round's inputs, seat
-// the round's cohort (identity only — no token state), replay the one
-// cohort falling due, and publish its samples.
+// entry returns the ring entry for round r, panicking if the ring no
+// longer (or does not yet) cover it — every caller's round arithmetic is
+// bounded by depth, so a miss is a bug, not a condition.
+func (lz *lazySoup) entry(r int) *lazyRound {
+	e := &lz.rounds[r%lz.depth]
+	if int(e.round) != r {
+		panic("walks: lazy ring does not cover the requested round")
+	}
+	return e
+}
+
+// rowAt materializes and returns the adjacency row of round target
+// (tailRound <= target <= lastRound). Snapshot entries are returned
+// aliased (zero copy — the Rerandomize oracle pays nothing it didn't
+// pay with full-row rings). Delta entries step the repRow scratch
+// forward from the nearest absolute anchor — or backward from where
+// repRow already is, deltas being reversible, when that is cheaper than
+// re-anchoring. The returned slice is read-only for callers and valid
+// until the next rowAt/advanceTail call.
+func (lz *lazySoup) rowAt(target int) []int32 {
+	e := lz.entry(target)
+	if e.disrupted {
+		return e.snap
+	}
+	if lz.repRound == target {
+		return lz.repRow
+	}
+	// Backward: unapply the intervening rounds' deltas when they are all
+	// delta-encoded and collectively cheaper than a full-row copy.
+	if lz.repRound > target {
+		sum, ok := 0, true
+		for r := lz.repRound; r > target; r-- {
+			er := lz.entry(r)
+			if er.disrupted {
+				ok = false
+				break
+			}
+			sum += len(er.deltas)
+		}
+		if ok && sum < len(lz.repRow)/2 {
+			for r := lz.repRound; r > target; r-- {
+				graph.UnapplyDeltas(lz.repRow, lz.entry(r).deltas)
+			}
+			lz.repRound = target
+			return lz.repRow
+		}
+		lz.repRound = -1 // cheaper to re-anchor below
+	}
+	// Forward: anchor at the nearest absolute row at or below target —
+	// repRow where it stands, a snapshot entry, or the tail row — then
+	// apply each round's deltas up to target.
+	anchor := -1
+	var src []int32
+	for r := target; r >= lz.tailRound; r-- {
+		if r == lz.repRound {
+			anchor, src = r, lz.repRow
+			break
+		}
+		if er := lz.entry(r); er.disrupted {
+			anchor, src = r, er.snap
+			break
+		}
+		if r == lz.tailRound {
+			anchor, src = r, lz.tailRow
+			break
+		}
+	}
+	if anchor < 0 {
+		panic("walks: lazy ring cannot anchor an adjacency row")
+	}
+	if &src[0] != &lz.repRow[0] {
+		copy(lz.repRow, src)
+	}
+	for r := anchor + 1; r <= target; r++ {
+		graph.ApplyDeltas(lz.repRow, lz.entry(r).deltas)
+	}
+	lz.repRound = target
+	return lz.repRow
+}
+
+// idsAt materializes the occupant-id table of round target
+// (tailRound <= target <= lastRound), aliasing the tail table when the
+// rounds coincide. Read-only for callers; valid until the next
+// idsAt/advanceTail call.
+func (lz *lazySoup) idsAt(target int) []simnet.NodeID {
+	if target == lz.tailRound {
+		return lz.tailIds
+	}
+	if lz.idRound == target {
+		return lz.idRow
+	}
+	if lz.idRound < lz.tailRound || lz.idRound > target {
+		lz.idRow = append(lz.idRow[:0], lz.tailIds...)
+		lz.idRound = lz.tailRound
+	}
+	for r := lz.idRound + 1; r <= target; r++ {
+		for _, ch := range lz.entry(r).idDeltas {
+			lz.idRow[ch.slot] = ch.id
+		}
+	}
+	lz.idRound = target
+	return lz.idRow
+}
+
+// advanceTail moves the tail cursors forward to round to, applying each
+// crossed round's deltas (or adopting its snapshot by reference). Called
+// after a delivery retires the old tail round.
+func (lz *lazySoup) advanceTail(to int) {
+	for r := lz.tailRound + 1; r <= to; r++ {
+		e := lz.entry(r)
+		if e.disrupted {
+			lz.tailRow, lz.tailOwn = e.snap, false
+		} else {
+			if !lz.tailOwn {
+				copy(lz.tailBuf, lz.tailRow)
+				lz.tailRow, lz.tailOwn = lz.tailBuf, true
+			}
+			graph.ApplyDeltas(lz.tailRow, e.deltas)
+		}
+		for _, ch := range e.idDeltas {
+			lz.tailIds[ch.slot] = ch.id
+		}
+		lz.tailRound = r
+	}
+}
+
+// stepLazy is the lazy store's StepRound: record the round's inputs
+// (journal drain, id deltas), seat the round's cohort (identity only —
+// no token state), replay the one cohort falling due, advance the tail
+// cursors past the retired round, and publish the delivered samples.
 func (s *Soup) stepLazy(e *simnet.Engine, round int) {
 	lz := s.lz
-	if lz.firstRound < 0 {
-		lz.firstRound = round
-	}
 	ri := round % lz.depth
 	rr := &lz.rounds[ri]
 	rr.round = int32(round)
 	rr.anyChurn = round > 0 && len(e.ChurnedThisRound()) > 0
-	copy(rr.row, e.Graph().Adjacency())
-	rr.ids = e.LiveIDs(rr.ids[:0])
+	// Adjacency transition: the drained change journal when the interval
+	// was incremental, a full snapshot when it was disrupted (bulk
+	// rewrite or over-limit churn).
+	g := e.Graph()
+	deltas, disrupted := g.DrainJournal()
+	if disrupted {
+		rr.disrupted = true
+		if rr.snap == nil {
+			rr.snap = make([]int32, s.n*lz.d)
+		}
+		copy(rr.snap, g.Adjacency())
+	} else {
+		rr.disrupted = false
+		rr.deltas = append(rr.deltas[:0], deltas...)
+	}
+	// Occupant changes: the churned slots' fresh ids.
+	rr.idDeltas = rr.idDeltas[:0]
+	if rr.anyChurn {
+		for _, slot := range e.ChurnedThisRound() {
+			rr.idDeltas = append(rr.idDeltas, idDelta{slot: int32(slot), id: e.IDAt(int(slot))})
+		}
+	}
+	if lz.firstRound < 0 {
+		lz.firstRound = round
+		lz.tailRound = round
+		if rr.disrupted {
+			lz.tailRow, lz.tailOwn = rr.snap, false
+		} else {
+			// The journal starts disrupted, so the first step's drain is a
+			// snapshot in practice; anchor off the live graph regardless.
+			copy(lz.tailBuf, g.Adjacency())
+			lz.tailRow, lz.tailOwn = lz.tailBuf, true
+		}
+		lz.tailIds = e.LiveIDs(lz.tailIds[:0])
+	}
 	// arrive[round+1] starts accumulating this round (delivery landings
 	// now, query-forced partial landings after); its ring slot's previous
 	// tenant was last read at cohort creation T+1 rounds ago.
@@ -181,6 +402,9 @@ func (s *Soup) stepLazy(e *simnet.Engine, round int) {
 			}
 		}
 		lz.cohorts[ci].delivered = true
+		// Round c's inputs are never read again: the tail moves on (capped
+		// at the last recorded round — T = 1 delivers the round it records).
+		lz.advanceTail(min(c+1, lz.lastRound))
 	}
 	s.gatherSamples()
 	lz.countsOK = false
@@ -189,7 +413,7 @@ func (s *Soup) stepLazy(e *simnet.Engine, round int) {
 // gatherSamples rebuilds the per-shard sample stores from outSmp staging
 // (shared counting sort with the eager gather).
 func (s *Soup) gatherSamples() {
-	shard.Run(s.workers, func(dsh int) {
+	s.grid.Run(s.workers, func(dsh int) {
 		s.gatherSamplesShard(&s.shards[dsh], dsh)
 	})
 }
@@ -199,6 +423,14 @@ func (s *Soup) gatherSamples() {
 // older cohort has already been replayed through b-1 (StepRound delivers
 // in birth order; lzSync forces in birth order), which is what makes the
 // arrival tables — and so the serial bases — complete when read.
+//
+// Replay is round-major at every worker count: all shards step through
+// round r against the one materialized adjacency row before any shard
+// sees r+1. Inline this is just loop order; in parallel, workers claim
+// shards from a cursor per round and a barrier separates rounds, its
+// last-arriver callback advancing the shared row (and resetting the
+// cursor) serially. Arrival updates are atomic and additive, so the
+// result is bit-identical at every worker count.
 func (s *Soup) lzAdvance(b, to int) {
 	lz := s.lz
 	coh := &lz.cohorts[b%lz.depth]
@@ -213,38 +445,72 @@ func (s *Soup) lzAdvance(b, to int) {
 		from = int(coh.evalRound) + 1
 	}
 	final := b + lz.T - 1
-	if s.workers == 1 {
-		// Inline and round-major: every shard steps through round r
-		// before any shard moves to r+1, so each ring row table is
-		// streamed through cache once per advance.
+	nsh := len(s.shards)
+	if wk := min(s.workers, nsh); wk == 1 {
 		if !coh.created {
+			ids := lz.idsAt(b)
 			for sh := range s.shards {
-				s.lzCreateShard(&s.shards[sh], b)
+				s.lzCreateShard(&s.shards[sh], b, ids)
 			}
 		}
 		for r := from; r <= to; r++ {
+			row := lz.rowAt(r)
 			fin := r == final
 			for sh := range s.shards {
-				s.lzReplayShard(&s.shards[sh], b, r, fin)
+				s.lzReplayShard(&s.shards[sh], b, r, fin, row)
 			}
 		}
 	} else {
-		// One parallel pass, shard-major: a worker advances its whole
-		// shard's slice of the cohort before taking the next shard.
-		// Trajectories are independent across shards and arrival updates
-		// are atomic and additive, so the result is bit-identical to the
-		// round-major order; a single shard.Run per advance keeps
-		// steady-state allocations flat.
-		created := coh.created
-		shard.Run(s.workers, func(sh int) {
-			ss := &s.shards[sh]
-			if !created {
-				s.lzCreateShard(ss, b)
+		var createIds []simnet.NodeID
+		if !coh.created {
+			createIds = lz.idsAt(b)
+		}
+		lz.bar.Reset(wk)
+		var cursor atomic.Int64
+		r := from
+		curRow := lz.rowAt(from)
+		body := func() {
+			if createIds != nil {
+				for {
+					sh := int(cursor.Add(1) - 1)
+					if sh >= nsh {
+						break
+					}
+					s.lzCreateShard(&s.shards[sh], b, createIds)
+				}
+				lz.bar.Wait(func() { cursor.Store(0) })
 			}
-			for r := from; r <= to; r++ {
-				s.lzReplayShard(ss, b, r, r == final)
+			for {
+				cr, crow := r, curRow
+				fin := cr == final
+				for {
+					sh := int(cursor.Add(1) - 1)
+					if sh >= nsh {
+						break
+					}
+					s.lzReplayShard(&s.shards[sh], b, cr, fin, crow)
+				}
+				if cr == to {
+					lz.bar.Wait(nil)
+					return
+				}
+				lz.bar.Wait(func() {
+					cursor.Store(0)
+					r = cr + 1
+					curRow = lz.rowAt(r)
+				})
 			}
-		})
+		}
+		var wg sync.WaitGroup
+		for w := 1; w < wk; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				body()
+			}()
+		}
+		body()
+		wg.Wait()
 	}
 	coh.created = true
 	coh.evalRound = int32(to)
@@ -264,8 +530,9 @@ func lzReplaced(death []uint64, slot int32) bool {
 // round began, so they die with a churned carrier and their survivors
 // count toward the generation serial base), then one implicit fresh batch
 // per slot, serials continuing from the slot's stored-survivor count —
-// identical semantics to the eager scatter's generation coda.
-func (s *Soup) lzCreateShard(ss *soupShard, b int) {
+// identical semantics to the eager scatter's generation coda. ids is the
+// round-b occupant table materialized by the caller.
+func (s *Soup) lzCreateShard(ss *soupShard, b int, ids []simnet.NodeID) {
 	lz := s.lz
 	ring := &lz.rounds[b%lz.depth]
 	arrive := lz.arrives[b%lz.depth]
@@ -302,7 +569,6 @@ func (s *Soup) lzCreateShard(ss *soupShard, b int) {
 		}
 	}
 	if wpr := s.p.WalksPerRound; wpr > 0 {
-		ids := ring.ids
 		for slot := lo; slot < hi; slot++ {
 			base := 0
 			if !lzReplaced(death, int32(slot)) {
@@ -337,17 +603,16 @@ func (s *Soup) lzCreateShard(ss *soupShard, b int) {
 
 // lzReplayShard advances cohort b's tokens in ss by the single round r:
 // per-step death check against the engine's replacement record, one
-// step hash, one ring row load, and — for non-final rounds — one arrival
-// increment at the landing slot. The step core matches store.go's
-// scatter loops bit for bit.
-func (s *Soup) lzReplayShard(ss *soupShard, b, r int, final bool) {
+// step hash, one row load against the materialized round-r adjacency,
+// and — for non-final rounds — one arrival increment at the landing
+// slot. The step core matches store.go's scatter loops bit for bit.
+func (s *Soup) lzReplayShard(ss *soupShard, b, r int, final bool, row []int32) {
 	lz := s.lz
 	ring := &lz.rounds[r%lz.depth]
 	toks := ss.lzToks[b%lz.depth]
 	if len(toks) == 0 {
 		return
 	}
-	row := ring.row
 	d := lz.d
 	du := uint64(d)
 	var death []uint64

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"dynp2p/internal/churn"
+	"dynp2p/internal/expander"
 	"dynp2p/internal/simnet"
 )
 
@@ -161,7 +162,18 @@ func cmpSample(a, b Sample) int {
 // (the uncapped fast path keeps a canonical order of its own).
 func runAgainstReference(t *testing.T, p Params, workers, n, rounds int, exactOrder bool) {
 	t.Helper()
-	e := newEngine(n, churn.FixedLaw{Count: 3}, 11, 12)
+	runAgainstReferenceShards(t, p, workers, 0, n, rounds, exactOrder)
+}
+
+// runAgainstReferenceShards is runAgainstReference with an explicit shard
+// count (0 = the engine's adaptive default).
+func runAgainstReferenceShards(t *testing.T, p Params, workers, shards, n, rounds int, exactOrder bool) {
+	t.Helper()
+	e := simnet.New(simnet.Config{
+		N: n, Degree: 8, EdgeMode: expander.Rerandomize, Shards: shards,
+		AdversarySeed: 11, ProtocolSeed: 12,
+		Strategy: churn.Uniform, Law: churn.FixedLaw{Count: 3},
+	})
 	soup := NewSoup(e, p, workers)
 	ref := newRefSoup(e, p)
 	e.AddHook(soup)
@@ -271,6 +283,20 @@ func TestLazyMatchesReference(t *testing.T) {
 	for _, workers := range []int{1, 3, runtime.GOMAXPROCS(0)} {
 		for _, n := range []int{50, 128} { // 50 < shard.Count exercises empty shards
 			runAgainstReference(t, p, workers, n, 300, false)
+		}
+	}
+}
+
+// TestLazyMatchesReferenceShardCounts re-runs the lazy oracle at pinned
+// non-default shard counts — the grid floor (16) and ceiling (256) — so the
+// adaptive Pick cannot mask a grid-geometry bug. At 256 shards on n=128
+// more than half the shards own zero slots; per-slot multisets and metrics
+// must still match the serial reference exactly.
+func TestLazyMatchesReferenceShardCounts(t *testing.T) {
+	p := Params{WalksPerRound: 3, WalkLength: 7, Deadline: 20, Lazy: true, Store: StoreLazy}
+	for _, shards := range []int{16, 256} {
+		for _, workers := range []int{1, 3} {
+			runAgainstReferenceShards(t, p, workers, shards, 128, 200, false)
 		}
 	}
 }

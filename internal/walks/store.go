@@ -135,11 +135,12 @@ type soupShard struct {
 	// into one L2-sized store window at a time.
 	groups [][]tokRec
 
-	// Scatter staging, segregated by destination shard. outBuf is
-	// double-buffered: a round's scatter writes outBuf[parity] while the
-	// uncapped path reads last round's outBuf[1-parity] as its store.
-	outBuf [2][shard.Count][]tokRec
-	outSmp [shard.Count][]stagedSmp
+	// Scatter staging, segregated by destination shard (grid-sized,
+	// allocated by init). outBuf is double-buffered: a round's scatter
+	// writes outBuf[parity] while the uncapped path reads last round's
+	// outBuf[1-parity] as its store.
+	outBuf [2][][]tokRec
+	outSmp [][]stagedSmp
 
 	// Deferred tokens (capped path: over the forwarding cap) stay in
 	// their slot, which is always in this same shard; they sort before
@@ -158,18 +159,19 @@ type soupShard struct {
 
 	// wc/wcLen: software write-combining blocks for the uncapped
 	// scatter's staged appends — tokens buffer in these L1-resident
-	// blocks and flush wcWidth at a time, so the 64 staging tails are
-	// touched in multi-line bursts the L2 streamer can follow instead of
-	// one interleaved line per token across more streams than it tracks.
-	wc    [shard.Count][wcWidth]tokRec
-	wcLen [shard.Count]int8
+	// blocks and flush wcWidth at a time, so the grid's staging tails
+	// are touched in multi-line bursts the L2 streamer can follow
+	// instead of one interleaved line per token across more streams
+	// than it tracks.
+	wc    [][wcWidth]tokRec
+	wcLen []int8
 }
 
 const wcWidth = 32
 
 // stageWC buffers one staged token for destination shard dsh, flushing
 // the block (order-preserving) when full.
-func (ss *soupShard) stageWC(out *[shard.Count][]tokRec, dsh uint32, t tokRec) {
+func (ss *soupShard) stageWC(out [][]tokRec, dsh uint32, t tokRec) {
 	l := ss.wcLen[dsh]
 	ss.wc[dsh][l] = t
 	l++
@@ -180,8 +182,8 @@ func (ss *soupShard) stageWC(out *[shard.Count][]tokRec, dsh uint32, t tokRec) {
 	ss.wcLen[dsh] = l
 }
 
-func (ss *soupShard) init(sh, n int) {
-	ss.lo, ss.hi = shard.Bounds(sh, n)
+func (ss *soupShard) init(g shard.Grid, sh, n int) {
+	ss.lo, ss.hi = g.Bounds(sh, n)
 	slots := ss.hi - ss.lo
 	ss.off = make([]int32, slots+1)
 	ss.nextOff = make([]int32, slots+1)
@@ -190,6 +192,11 @@ func (ss *soupShard) init(sh, n int) {
 	ss.cursor = make([]int32, slots)
 	ss.replaced = make([]bool, slots)
 	ss.groups = make([][]tokRec, (slots+groupSlots-1)/groupSlots)
+	ss.outBuf[0] = make([][]tokRec, g.Count())
+	ss.outBuf[1] = make([][]tokRec, g.Count())
+	ss.outSmp = make([][]stagedSmp, g.Count())
+	ss.wc = make([][wcWidth]tokRec, g.Count())
+	ss.wcLen = make([]int8, g.Count())
 }
 
 // insert splices count fresh tokens into the capped-path store at the end
@@ -242,10 +249,10 @@ func (s *Soup) scatter(e *simnet.Engine, round int) {
 	p := s.p
 	stepsInit := uint16(p.WalkLength)
 	parity := s.parity
-	shard.Run(s.workers, func(sh int) {
+	s.grid.Run(s.workers, func(sh int) {
 		ss := &s.shards[sh]
-		out := &ss.outBuf[parity]
-		for dsh := 0; dsh < shard.Count; dsh++ {
+		out := ss.outBuf[parity]
+		for dsh := range out {
 			out[dsh] = out[dsh][:0]
 			ss.outSmp[dsh] = ss.outSmp[dsh][:0]
 		}
@@ -364,11 +371,11 @@ func (s *Soup) scatterUncapped(e *simnet.Engine, round int) {
 	p := s.p
 	stepsInit := uint16(p.WalkLength)
 	parity := s.parity
-	shard.Run(s.workers, func(sh int) {
+	s.grid.Run(s.workers, func(sh int) {
 		ss := &s.shards[sh]
-		out := &ss.outBuf[parity]
+		out := ss.outBuf[parity]
 		in := 1 - parity
-		for dsh := 0; dsh < shard.Count; dsh++ {
+		for dsh := range out {
 			out[dsh] = out[dsh][:0]
 			ss.outSmp[dsh] = ss.outSmp[dsh][:0]
 		}
@@ -520,7 +527,7 @@ func (s *Soup) scatterUncapped(e *simnet.Engine, round int) {
 // rate — a few percent of token volume — so their pass 1 is a scan.
 func (s *Soup) gather() {
 	parity := s.parity
-	shard.Run(s.workers, func(dsh int) {
+	s.grid.Run(s.workers, func(dsh int) {
 		ds := &s.shards[dsh]
 		counts := ds.counts
 
@@ -656,7 +663,7 @@ func (s *Soup) injectUncapped(sh, local, count int, id simnet.NodeID, birth int3
 	if uint64(id) >= maxSrcID {
 		panic("walks: node id exceeds the packed staging range")
 	}
-	tail := &s.shards[shard.Count-1].outBuf[s.inboxParity()][sh]
+	tail := &s.shards[len(s.shards)-1].outBuf[s.inboxParity()][sh]
 	loc := uint64(id)<<shard.LocalBits | uint64(local)
 	for k := 0; k < count; k++ {
 		*tail = append(*tail, tokRec{loc: loc, pack: packToken(birth, baseSerial+uint16(k), steps)})

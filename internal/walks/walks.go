@@ -23,13 +23,14 @@
 //   - Each token's step is derived by hashing (seed, round, src, birth,
 //     serial), not by consuming a shared stream, so the simulation is
 //     bit-reproducible at any worker count.
-//   - The shard count is a constant (internal/shard, also used by the
-//     engine's message exchange), the gather merges source shards in
-//     fixed order, and shard slot ranges are contiguous and ascending,
-//     so each slot's token order is canonical — deferred tokens first,
-//     then arrivals by (source slot, source order): the forwarding cap —
-//     the paper's 2h·log n per-round scalability restriction — always
-//     applies to the same tokens no matter the parallelism.
+//   - The shard grid is fixed at engine construction (internal/shard,
+//     shared with the engine's message exchange), the gather merges
+//     source shards in fixed order, and shard slot ranges are contiguous
+//     and ascending, so each slot's token order is canonical — deferred
+//     tokens first, then arrivals by (source slot, source order): the
+//     forwarding cap — the paper's 2h·log n per-round scalability
+//     restriction — always applies to the same tokens no matter the
+//     parallelism.
 package walks
 
 import (
@@ -153,9 +154,12 @@ type Soup struct {
 	m    Metrics
 
 	// shards hold the columnar token store, the per-round sample store,
-	// and all exchange staging; slotLoc resolves a slot to its (shard,
-	// local index) with one load (shard.LocTable). rowLoc is the
-	// per-round composition of the adjacency with slotLoc (see store.go).
+	// and all exchange staging, one per grid shard (the grid comes from
+	// the engine, so soup and engine exchange agree); slotLoc resolves a
+	// slot to its (shard, local index) with one load (Grid.LocTable).
+	// rowLoc is the per-round composition of the adjacency with slotLoc
+	// (see store.go).
+	grid    shard.Grid
 	shards  []soupShard
 	slotLoc []uint32
 	rowLoc  []uint32
@@ -211,12 +215,14 @@ func NewSoup(e *simnet.Engine, p Params, workers int) *Soup {
 		panic("walks: unknown StoreKind")
 	}
 	n := e.N()
+	grid := e.Grid()
 	s := &Soup{
 		p:       p,
 		n:       n,
 		seed:    e.Config().ProtocolSeed,
-		shards:  make([]soupShard, shard.Count),
-		slotLoc: shard.LocTable(n),
+		grid:    grid,
+		shards:  make([]soupShard, grid.Count()),
+		slotLoc: grid.LocTable(n),
 		capped:  p.Store == StoreCapped,
 		workers: workers,
 	}
@@ -224,7 +230,7 @@ func NewSoup(e *simnet.Engine, p Params, workers int) *Soup {
 		s.rowLoc = make([]uint32, n*e.Degree())
 	}
 	for i := range s.shards {
-		s.shards[i].init(i, n)
+		s.shards[i].init(grid, i, n)
 	}
 	if p.Store == StoreLazy {
 		s.lz = newLazySoup(e, s)

@@ -27,13 +27,22 @@
 # committed JSON), and at small sizes run-to-run noise exceeds the real
 # tax, which is ~0.
 #
-# Env overrides: BENCHTIME (default 20x), MAX_STEADY_ALLOCS (default 256),
-# OUT (default BENCH_roundloop.json), GATED_BENCHES (awk regex of benchmark
-# names the alloc gate applies to; default RouteOnly and SoupOnly at the
-# n=4096 reference size), TELEMETRY_MAX_NS_PCT (default 5),
-# TELEMETRY_MAX_ALLOC_DELTA (default 0), TELEMETRY_NS_GATE_SIZE
-# (default 65536, the acceptance size; the -short run has no such row so
-# only the alloc delta is gated there).
+# A third leg is the multi-core matrix: BenchmarkRoundMatrix (the
+# canonical FullRound body) runs under -cpu $CPUS (default 1,2,4) at
+# n=65536 and n=2^20, emitting RoundMatrix/n=<n>/procs=<p> rows. On a
+# single-vCPU host the procs>1 rows measure scheduling overhead, not
+# speedup — the committed JSON notes say which kind of host produced them.
+#
+# Env overrides: BENCHTIME (default 20x), MATRIX_BENCHTIME (default 5x;
+# the 2^20 rows cost minutes of warmup per cpu value), CPUS (default
+# 1,2,4), MAX_STEADY_ALLOCS (default 256), OUT (default
+# BENCH_roundloop.json), GATED_BENCHES (awk regex of benchmark names the
+# alloc gate applies to; default RouteOnly, SoupOnly, SoupOnlyEager and
+# OverlayRepair at the n=4096 reference size plus RouteOnly at n=65536 —
+# the row whose 637-alloc regression motivated the inbox arena),
+# TELEMETRY_MAX_NS_PCT (default 5), TELEMETRY_MAX_ALLOC_DELTA (default 0),
+# TELEMETRY_NS_GATE_SIZE (default 65536, the acceptance size; the -short
+# run has no such row so only the alloc delta is gated there).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,8 +51,10 @@ if [[ "${1:-}" == "-short" ]]; then
   SHORT="-short"
 fi
 BENCHTIME="${BENCHTIME:-20x}"
+MATRIX_BENCHTIME="${MATRIX_BENCHTIME:-5x}"
+CPUS="${CPUS:-1,2,4}"
 MAX_STEADY_ALLOCS="${MAX_STEADY_ALLOCS:-256}"
-GATED_BENCHES="${GATED_BENCHES:-^(RouteOnly|SoupOnly|SoupOnlyEager|OverlayRepair)\\/n=4096\$}"
+GATED_BENCHES="${GATED_BENCHES:-^(RouteOnly|SoupOnly|SoupOnlyEager|OverlayRepair)\\/n=4096\$|^RouteOnly\\/n=65536\$}"
 TELEMETRY_MAX_NS_PCT="${TELEMETRY_MAX_NS_PCT:-5}"
 TELEMETRY_MAX_ALLOC_DELTA="${TELEMETRY_MAX_ALLOC_DELTA:-0}"
 TELEMETRY_NS_GATE_SIZE="${TELEMETRY_NS_GATE_SIZE:-65536}"
@@ -61,7 +72,10 @@ if [[ -f "$OUT" ]]; then
 fi
 
 go test $SHORT -run '^$' -bench 'BenchmarkRouteOnly|BenchmarkSoupOnly|BenchmarkOverlayRepair|BenchmarkFullRound' \
-  -benchmem -benchtime "$BENCHTIME" ./internal/bench | tee "$RAW"
+  -benchmem -benchtime "$BENCHTIME" -timeout 90m ./internal/bench | tee "$RAW"
+
+go test $SHORT -run '^$' -bench 'BenchmarkRoundMatrix' \
+  -benchmem -benchtime "$MATRIX_BENCHTIME" -cpu "$CPUS" -timeout 90m ./internal/bench | tee -a "$RAW"
 
 awk -v go_version="$(go version | awk '{print $3}')" \
     -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
@@ -73,9 +87,19 @@ awk -v go_version="$(go version | awk '{print $3}')" \
     -v tel_alloc_delta="$TELEMETRY_MAX_ALLOC_DELTA" \
     -v tel_ns_size="$TELEMETRY_NS_GATE_SIZE" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
-/^Benchmark(RouteOnly|SoupOnly|SoupOnlyEager|OverlayRepair|FullRound|FullRoundTelemetry)\// {
+/^Benchmark(RouteOnly|SoupOnly|SoupOnlyEager|OverlayRepair|FullRound|FullRoundTelemetry|RoundMatrix)\// {
   name = $1
-  sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
+  sub(/^Benchmark/, "", name)
+  # The testing package suffixes -$GOMAXPROCS when -cpu != 1. Matrix rows
+  # keep the proc count as a /procs= component; the single-core trajectory
+  # rows stay name-compatible with the committed baselines.
+  procs = 1
+  if (match(name, /-[0-9]+$/)) { procs = substr(name, RSTART + 1); name = substr(name, 1, RSTART - 1) }
+  extra = ""
+  if (name ~ /^RoundMatrix\//) {
+    name = name "/procs=" procs
+    extra = sprintf(", \"procs\": %s", procs)
+  }
   ns = allocs = bytes = moves = "null"
   repairs = ""
   for (i = 2; i < NF; i++) {
@@ -85,7 +109,7 @@ awk -v go_version="$(go version | awk '{print $3}')" \
     if ($(i+1) == "token-moves/s") moves = $i
     if ($(i+1) == "repairs/round") repairs = sprintf(", \"repairs_per_round\": %s", $i)
   }
-  rows[++n] = sprintf("    {\"name\": \"%s\", \"ns_per_round\": %s, \"allocs_per_round\": %s, \"bytes_per_round\": %s, \"token_moves_per_s\": %s%s}", name, ns, allocs, bytes, moves, repairs)
+  rows[++n] = sprintf("    {\"name\": \"%s\", \"ns_per_round\": %s, \"allocs_per_round\": %s, \"bytes_per_round\": %s, \"token_moves_per_s\": %s%s%s}", name, ns, allocs, bytes, moves, repairs, extra)
   ns_by[name] = ns; allocs_by[name] = allocs
   if (name ~ gated && allocs != "null" && allocs + 0 > max_allocs + 0) {
     printf "FAIL: %s allocates %s/round, budget is %s\n", name, allocs, max_allocs > "/dev/stderr"

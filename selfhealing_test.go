@@ -1,10 +1,12 @@
 package dynp2p
 
 import (
+	"bytes"
 	"reflect"
 	"runtime"
 	"testing"
 
+	"dynp2p/internal/telemetry"
 	"dynp2p/internal/walks"
 )
 
@@ -119,19 +121,24 @@ func TestSelfHealingAcceptance(t *testing.T) {
 // contract to the overlay: a faulty, churning self-healing network must
 // produce identical stats (including overlay metrics), retrieval
 // results, walk samples, and final adjacency for Workers ∈ {1, 3,
-// GOMAXPROCS}. CI runs it under -race.
+// GOMAXPROCS}. The contract is per shard count — results are a pure
+// function of (seeds, parameters, shard count) — so the test repeats at
+// the pinned grid floor (16) and ceiling (256) in addition to the
+// adaptive default. CI runs it under -race.
 func TestSelfHealingWorkerIndependence(t *testing.T) {
 	type snapshot struct {
 		stats   Stats
 		results []Result
 		samples [][]walks.Sample
 		adj     []int32
+		det     string // telemetry DeterministicSnapshot, serialized
 	}
-	run := func(workers int) snapshot {
+	run := func(workers, shards int) snapshot {
 		nw := New(Config{
 			N: 2048, ChurnRate: 1, ChurnDelta: 1.0, Seed: 5, Workers: workers,
-			Edges: EdgesSelfHealing, SpectralEvery: 7,
-			Fault: FaultConfig{DropProb: 0.03, DelayProb: 0.1, MaxDelay: 2},
+			Shards: shards,
+			Edges:  EdgesSelfHealing, SpectralEvery: 7,
+			Fault:  FaultConfig{DropProb: 0.03, DelayProb: 0.1, MaxDelay: 2},
 		})
 		nw.Run(nw.WarmupRounds())
 		data := make([]byte, 48)
@@ -143,10 +150,15 @@ func TestSelfHealingWorkerIndependence(t *testing.T) {
 		nw.Retrieve(1024, 7, data)
 		nw.Retrieve(99, 7, data)
 		nw.Run(nw.Tunables().Protocol.SearchTTL + 4)
+		var det bytes.Buffer
+		if err := telemetry.WriteJSONL(&det, nw.Telemetry().DeterministicSnapshot()); err != nil {
+			t.Fatal(err)
+		}
 		snap := snapshot{
 			stats:   nw.Stats(),
 			results: nw.Results(),
 			adj:     append([]int32(nil), nw.Engine().Graph().Adjacency()...),
+			det:     det.String(),
 		}
 		for s := 0; s < nw.N(); s++ {
 			snap.samples = append(snap.samples,
@@ -154,24 +166,33 @@ func TestSelfHealingWorkerIndependence(t *testing.T) {
 		}
 		return snap
 	}
-	base := run(1)
-	if base.stats.Overlay.PortsSevered == 0 {
-		t.Fatal("overlay did not repair anything; test is vacuous")
-	}
-	for _, w := range []int{3, runtime.GOMAXPROCS(0)} {
-		got := run(w)
-		if base.stats != got.stats {
-			t.Errorf("workers=%d: stats differ:\n%+v\n%+v", w, base.stats, got.stats)
+	for _, shards := range []int{0, 16, 256} {
+		base := run(1, shards)
+		if base.stats.Overlay.PortsSevered == 0 {
+			t.Fatalf("shards=%d: overlay did not repair anything; test is vacuous", shards)
 		}
-		if !reflect.DeepEqual(base.results, got.results) {
-			t.Errorf("workers=%d: retrieval results differ", w)
+		workerSet := []int{3}
+		if shards == 0 {
+			workerSet = []int{3, runtime.GOMAXPROCS(0)}
 		}
-		if !reflect.DeepEqual(base.adj, got.adj) {
-			t.Errorf("workers=%d: final adjacency differs", w)
-		}
-		for s := range base.samples {
-			if !reflect.DeepEqual(base.samples[s], got.samples[s]) {
-				t.Fatalf("workers=%d: soup samples differ at slot %d", w, s)
+		for _, w := range workerSet {
+			got := run(w, shards)
+			if base.stats != got.stats {
+				t.Errorf("workers=%d shards=%d: stats differ:\n%+v\n%+v", w, shards, base.stats, got.stats)
+			}
+			if !reflect.DeepEqual(base.results, got.results) {
+				t.Errorf("workers=%d shards=%d: retrieval results differ", w, shards)
+			}
+			if !reflect.DeepEqual(base.adj, got.adj) {
+				t.Errorf("workers=%d shards=%d: final adjacency differs", w, shards)
+			}
+			if base.det != got.det {
+				t.Errorf("workers=%d shards=%d: telemetry DeterministicSnapshot differs", w, shards)
+			}
+			for s := range base.samples {
+				if !reflect.DeepEqual(base.samples[s], got.samples[s]) {
+					t.Fatalf("workers=%d shards=%d: soup samples differ at slot %d", w, shards, s)
+				}
 			}
 		}
 	}
