@@ -36,6 +36,7 @@ func main() {
 	opTracePath := flag.String("optrace", "", "write a per-operation lifecycle JSONL trace to this file")
 	metricsPath := flag.String("metrics", "", "write a final Prometheus-text metrics snapshot to this file")
 	phaseProfPath := flag.String("phaseprof", "", "write a per-round phase-timing JSONL stream to this file")
+	cacheCap := flag.Int("cachecap", -1, "override the spec's hot-key cache capacity (-1 keeps the spec value; 0 disables caching)")
 	list := flag.Bool("list", false, "list builtin scenarios and exit")
 	dump := flag.Bool("dump", false, "print the resolved spec as JSON and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -72,6 +73,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	// -cachecap sweeps cache capacity without editing the spec (see
+	// EXPERIMENTS.md). It overrides phase-level cache blocks too, so the
+	// sweep axis is unambiguous.
+	if *cacheCap >= 0 {
+		spec.Cache.Capacity = *cacheCap
+		for i := range spec.Phases {
+			if spec.Phases[i].Cache != nil {
+				spec.Phases[i].Cache.Capacity = *cacheCap
+			}
+		}
 	}
 
 	if *dump {

@@ -141,6 +141,11 @@ type Config struct {
 	// replaces occupants). Deprecated shorthand for Edges: EdgesStatic,
 	// honoured when Edges is left at its zero value.
 	StaticEdges bool
+	// Cache enables hot-key caching (DESIGN.md §10): completed retrievals
+	// are cached and probabilistically replicated along walk samples, so
+	// hot keys resolve without committee formation. The zero value
+	// disables caching. Use Network.SetCache to vary it mid-run.
+	Cache CacheConfig
 	// TraceSampleEvery enables operation-lifecycle tracing: roughly one in
 	// k store/search operations is sampled (deterministically, by hashing
 	// the operation key and issuer against Seed) and its per-round hop and
@@ -151,6 +156,17 @@ type Config struct {
 	// phase (churn/topology/deliver/soup/overlay/handlers/route), exposed
 	// via Network.Profiler(). Timing-only; never affects determinism.
 	Profile bool
+}
+
+// CacheConfig parameterises the hot-key cache. Capacity is per-node
+// entries (0 = caching off); TTL is the entry lifetime in rounds (0 =
+// 2× the landmark TTL); SeedRate is the probability an eligible walk
+// sample receives a replica when a node completes or serves a retrieval
+// (0 = 0.5).
+type CacheConfig struct {
+	Capacity int
+	TTL      int
+	SeedRate float64
 }
 
 // Tunables exposes the derived protocol and walk parameters of a network.
@@ -213,6 +229,9 @@ func NewCustom(cfg Config, adjust func(*walks.Params, *protocol.Params)) *Networ
 	wp := walks.DefaultParams(cfg.N)
 	pp := protocol.DefaultParams(cfg.N, wp.WalkLength)
 	pp.IDAThreshold = cfg.ErasureK
+	pp.CacheCapacity = cfg.Cache.Capacity
+	pp.CacheTTL = cfg.Cache.TTL
+	pp.CacheSeedRate = cfg.Cache.SeedRate
 	if adjust != nil {
 		adjust(&wp, &pp)
 	}
@@ -273,6 +292,12 @@ func (nw *Network) Results() []Result { return nw.h.DrainResults() }
 // SetFault installs (or, with nil, removes) the message fault model. Call
 // between Run calls; scenario phases use this to vary network quality.
 func (nw *Network) SetFault(f FaultModel) { nw.e.SetFault(f) }
+
+// SetCache reconfigures the hot-key cache mid-run: capacity 0 disables
+// it, raising capacity grows every node's cache region in place. Call
+// between Run calls; scenario phases use this for per-phase overrides
+// and capacity sweeps.
+func (nw *Network) SetCache(c CacheConfig) { nw.h.SetCache(c.Capacity, c.TTL, c.SeedRate) }
 
 // SetEdgeMode switches the topology's edge dynamics mid-run (period is
 // only used by EdgesPeriodic; pass 0 to keep the current period). Call

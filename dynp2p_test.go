@@ -65,17 +65,21 @@ func TestFacadeDeterminism(t *testing.T) {
 // engine's sort-free canonical ordering: on a faulty, churning 2048-node
 // network running the full protocol stack, the engine metrics, every
 // retrieval result, and the walk soup's per-slot sample sets must be
-// bit-identical for Workers ∈ {1, 3, GOMAXPROCS}.
+// bit-identical for Workers ∈ {1, 3, GOMAXPROCS}. The caching leg
+// additionally exercises hot-key replica placement, cascade seeding,
+// and LRU eviction — all of whose counters ride in Stats — under the
+// same worker sweep.
 func TestWorkerCountIndependence(t *testing.T) {
 	type snapshot struct {
 		stats   Stats
 		results []Result
 		samples [][]walks.Sample // per slot, last round's completed walks
 	}
-	run := func(workers int) snapshot {
+	run := func(workers int, cache CacheConfig) snapshot {
 		nw := New(Config{
 			N: 2048, ChurnRate: 1, ChurnDelta: 1.0, Seed: 5, Workers: workers,
 			Fault: FaultConfig{DropProb: 0.03, DelayProb: 0.1, MaxDelay: 2},
+			Cache: cache,
 		})
 		nw.Run(nw.WarmupRounds())
 		data := make([]byte, 48)
@@ -85,6 +89,10 @@ func TestWorkerCountIndependence(t *testing.T) {
 		nw.Retrieve(1024, 7, data)
 		nw.Retrieve(99, 7, data)
 		nw.Run(nw.Tunables().Protocol.SearchTTL + 4)
+		// A third retrieval after the first two completed: with caching
+		// on it exercises serve/admit paths against a warm population.
+		nw.Retrieve(555, 7, data)
+		nw.Run(nw.Tunables().Protocol.SearchTTL + 4)
 		snap := snapshot{stats: nw.Stats(), results: nw.Results()}
 		for s := 0; s < nw.N(); s++ {
 			snap.samples = append(snap.samples,
@@ -92,20 +100,33 @@ func TestWorkerCountIndependence(t *testing.T) {
 		}
 		return snap
 	}
-	base := run(1)
-	for _, w := range []int{3, runtime.GOMAXPROCS(0)} {
-		got := run(w)
-		if base.stats != got.stats {
-			t.Errorf("workers=%d: stats differ:\n%+v\n%+v", w, base.stats, got.stats)
-		}
-		if !reflect.DeepEqual(base.results, got.results) {
-			t.Errorf("workers=%d: retrieval results differ:\n%+v\n%+v", w, base.results, got.results)
-		}
-		for s := range base.samples {
-			if !reflect.DeepEqual(base.samples[s], got.samples[s]) {
-				t.Fatalf("workers=%d: soup samples differ at slot %d", w, s)
+	for _, leg := range []struct {
+		name  string
+		cache CacheConfig
+	}{
+		{"cache-off", CacheConfig{}},
+		{"cache-on", CacheConfig{Capacity: 2, SeedRate: 0.7}},
+	} {
+		t.Run(leg.name, func(t *testing.T) {
+			base := run(1, leg.cache)
+			if leg.cache.Capacity > 0 && base.stats.Proto.CacheInserts == 0 {
+				t.Error("caching leg produced no cache activity")
 			}
-		}
+			for _, w := range []int{3, runtime.GOMAXPROCS(0)} {
+				got := run(w, leg.cache)
+				if base.stats != got.stats {
+					t.Errorf("workers=%d: stats differ:\n%+v\n%+v", w, base.stats, got.stats)
+				}
+				if !reflect.DeepEqual(base.results, got.results) {
+					t.Errorf("workers=%d: retrieval results differ:\n%+v\n%+v", w, base.results, got.results)
+				}
+				for s := range base.samples {
+					if !reflect.DeepEqual(base.samples[s], got.samples[s]) {
+						t.Fatalf("workers=%d: soup samples differ at slot %d", w, s)
+					}
+				}
+			}
+		})
 	}
 }
 

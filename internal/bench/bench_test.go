@@ -201,6 +201,23 @@ func BenchmarkRoundMatrix(b *testing.B) {
 	}
 }
 
+// BenchmarkRetrieveHot measures rounds of a Zipf-skewed retrieval
+// workload with the hot-key cache off (the committed baseline) and on.
+// The body is RetrieveHot; scripts/bench.sh emits both rows so the
+// cache's latency win and steady-state cost stay visible in the
+// committed trajectory.
+func BenchmarkRetrieveHot(b *testing.B) {
+	for _, n := range sizes() {
+		for _, c := range []bool{false, true} {
+			label := "off"
+			if c {
+				label = "on"
+			}
+			b.Run(fmt.Sprintf("n=%d/cache=%s", n, label), func(b *testing.B) { RetrieveHot(b, n, c) })
+		}
+	}
+}
+
 // BenchmarkFullRoundTelemetry is BenchmarkFullRound with full tracing
 // (sample rate 1) and the round-phase profiler enabled: the telemetry-tax
 // row. scripts/bench.sh gates its deltas against the FullRound row — at

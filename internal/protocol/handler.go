@@ -22,6 +22,18 @@ type Handler struct {
 
 	states []nodeState
 
+	// Hot-key cache (cache.go): one flat arena, slot s owning the region
+	// [s·stride, (s+1)·stride); cacheCap <= cacheStride is the runtime
+	// per-node capacity (SetCache can shrink without dropping entries and
+	// grow by rebuilding the arena). seed keys the deterministic
+	// replica-placement hash.
+	seed        uint64
+	cacheArena  []cacheEntry
+	cacheStride int
+	cacheCap    int
+	cacheTTL    int
+	cacheRate   float64
+
 	mu      sync.Mutex
 	results []SearchResult
 
@@ -45,6 +57,15 @@ type counters struct {
 	fetches           telemetry.Counter
 	idaLost           telemetry.Counter
 	idaRecoded        telemetry.Counter
+	cacheHits         telemetry.Counter
+	cacheServed       telemetry.Counter
+	cacheSeeds        telemetry.Counter
+	cacheInserts      telemetry.Counter
+	cacheEvictions    telemetry.Counter
+	cacheExpired      telemetry.Counter
+	cacheHitsByHop    telemetry.Histogram
+	roundsCached      telemetry.Histogram
+	roundsUncached    telemetry.Histogram
 }
 
 func newCounters(reg *telemetry.Registry) counters {
@@ -61,6 +82,15 @@ func newCounters(reg *telemetry.Registry) counters {
 		fetches:           reg.Counter("dynp2p_proto_fetches_total", "data fetch requests sent"),
 		idaLost:           reg.Counter("dynp2p_proto_ida_lost_total", "handovers where fewer than K pieces survived"),
 		idaRecoded:        reg.Counter("dynp2p_proto_ida_recoded_total", "handovers that reconstructed and re-dispersed"),
+		cacheHits:         reg.Counter("dynp2p_cache_hits_total", "retrievals resolved by a cached copy (own-node or served)"),
+		cacheServed:       reg.Counter("dynp2p_cache_served_total", "inquiries answered directly from a cache"),
+		cacheSeeds:        reg.Counter("dynp2p_cache_seeds_total", "cache replicas pushed to walk-sample sources"),
+		cacheInserts:      reg.Counter("dynp2p_cache_inserts_total", "cache entries written (excluding same-key refreshes)"),
+		cacheEvictions:    reg.Counter("dynp2p_cache_evictions_total", "live cache entries evicted by LRU pressure"),
+		cacheExpired:      reg.Counter("dynp2p_cache_expired_total", "cache lookups that found only a TTL-expired entry"),
+		cacheHitsByHop:    reg.Histogram("dynp2p_cache_hits_by_hop", "seed depth of the replica resolving each cache hit"),
+		roundsCached:      reg.Histogram("dynp2p_search_rounds_cached", "rounds to resolve for cache-served retrievals"),
+		roundsUncached:    reg.Histogram("dynp2p_search_rounds_uncached", "rounds to resolve for committee-served retrievals"),
 	}
 }
 
@@ -78,6 +108,12 @@ type Counters struct {
 	Fetches           int64 // data fetch requests sent
 	IDALost           int64 // handovers where fewer than K pieces survived
 	IDARecoded        int64 // handovers that reconstructed and re-dispersed
+	CacheHits         int64 // retrievals resolved by a cached copy
+	CacheServed       int64 // inquiries answered directly from a cache
+	CacheSeeds        int64 // cache replicas pushed to walk-sample sources
+	CacheInserts      int64 // cache entries written (excluding refreshes)
+	CacheEvictions    int64 // live cache entries evicted by LRU pressure
+	CacheExpired      int64 // lookups that found only a TTL-expired entry
 }
 
 // Counters returns a snapshot of event counters, merged from the
@@ -96,6 +132,12 @@ func (h *Handler) Counters() Counters {
 		Fetches:           h.ctr.fetches.Value(),
 		IDALost:           h.ctr.idaLost.Value(),
 		IDARecoded:        h.ctr.idaRecoded.Value(),
+		CacheHits:         h.ctr.cacheHits.Value(),
+		CacheServed:       h.ctr.cacheServed.Value(),
+		CacheSeeds:        h.ctr.cacheSeeds.Value(),
+		CacheInserts:      h.ctr.cacheInserts.Value(),
+		CacheEvictions:    h.ctr.cacheEvictions.Value(),
+		CacheExpired:      h.ctr.cacheExpired.Value(),
 	}
 }
 
@@ -107,6 +149,7 @@ type SearchResult struct {
 	Found    int  // round the searcher learned a storage-committee roster (-1 if never)
 	Done     int  // round the item bytes were reconstructed (-1 if never)
 	Success  bool // true if the data was retrieved and verified
+	Cached   bool // true if a cached copy resolved the retrieval
 	Bytes    int  // length of the retrieved data
 }
 
@@ -168,9 +211,11 @@ func NewHandler(e *simnet.Engine, soup *walks.Soup, p Params) *Handler {
 	p.validate()
 	h := &Handler{
 		P: p, soup: soup,
+		seed:   e.Config().ProtocolSeed,
 		states: make([]nodeState, e.N()),
 		ctr:    newCounters(e.Telemetry()),
 	}
+	h.SetCache(p.CacheCapacity, p.CacheTTL, p.CacheSeedRate)
 	if p.IDAThreshold > 0 {
 		c, err := ida.New(p.IDAThreshold, p.CommitteeSize)
 		if err != nil {
@@ -196,6 +241,7 @@ func (h *Handler) OnJoin(e *simnet.Engine, slot int, id simnet.NodeID, round int
 		searchLM:    make(map[uint64][]*searchTask),
 		searches:    make(map[uint64]*searchState),
 	}
+	h.cacheClearSlot(slot)
 }
 
 // OnLeave implements simnet.Handler.
@@ -282,6 +328,10 @@ func (h *Handler) dispatch(ctx *simnet.Ctx, st *nodeState, m *simnet.Msg) {
 		h.onFetch(ctx, st, m)
 	case KindSData:
 		h.onData(ctx, st, m)
+	case KindCacheData:
+		h.onCached(ctx, st, m)
+	case KindCacheSeed:
+		h.onSeed(ctx, st, m)
 	}
 }
 

@@ -37,6 +37,15 @@ const (
 	// Aux = packCount-style (piece index, has piece), Aux2 = item length,
 	// Blob = data.
 	KindSData uint8 = 0x33
+
+	// KindCacheData answers a search inquiry straight from a hot-key
+	// cache (DESIGN.md §10): the full item bytes go to the searcher,
+	// short-circuiting the found/fetch/reconstruct leg of Algorithm 4.
+	// Item = key, Aux = the serving replica's seed depth, Blob = bytes.
+	KindCacheData uint8 = 0x40
+	// KindCacheSeed pushes a cached replica to a walk-sample source.
+	// Item = key, Aux = the recipient's seed depth, Blob = bytes.
+	KindCacheSeed uint8 = 0x41
 )
 
 // packInvite encodes (base round, mode, piece index) into Aux.

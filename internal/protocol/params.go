@@ -83,6 +83,16 @@ type Params struct {
 	// reconstruction threshold K; the number of pieces L equals
 	// CommitteeSize. K = 0 selects plain replication.
 	IDAThreshold int
+	// CacheCapacity is the number of hot items each node may cache for
+	// walk-seeded replication (DESIGN.md §10). 0 disables caching.
+	CacheCapacity int
+	// CacheTTL is a cached entry's lifetime in rounds; 0 selects
+	// 2·LandmarkTTL.
+	CacheTTL int
+	// CacheSeedRate is the probability that an eligible walk sample
+	// receives a seeded replica when a node completes or serves a
+	// retrieval; 0 selects 0.5.
+	CacheSeedRate float64
 }
 
 // DefaultParams derives protocol parameters for network size n from the
@@ -173,5 +183,11 @@ func (p Params) validate() {
 		panic("protocol: IDAThreshold must be in [0, CommitteeSize]")
 	case p.InviteFactor < 1:
 		panic("protocol: InviteFactor must be >= 1")
+	case p.CacheCapacity < 0:
+		panic("protocol: negative CacheCapacity")
+	case p.CacheTTL < 0:
+		panic("protocol: negative CacheTTL")
+	case p.CacheSeedRate < 0 || p.CacheSeedRate > 1:
+		panic("protocol: CacheSeedRate must be in [0, 1]")
 	}
 }

@@ -23,6 +23,7 @@ type searchState struct {
 	itemLen  int
 	want     []byte // expected content, if known (for verification)
 	trace    uint64 // nonzero when this retrieval is lifecycle-traced
+	cached   bool   // a cached copy resolved (or is resolving) the search
 }
 
 // RequestStore asks the node at slot to persistently store (key, data)
@@ -58,6 +59,14 @@ func (h *Handler) tickPending(ctx *simnet.Ctx, st *nodeState) {
 	}
 	kept := st.pending[:0]
 	for _, op := range st.pending {
+		// A retrieval the node can answer from its own cache never forms
+		// a committee: it resolves in place, this tick.
+		if op.mode == ModeSearch {
+			if e := h.cacheLookup(ctx, op.key); e != nil {
+				h.serveOwnCacheHit(ctx, st, op, e)
+				continue
+			}
+		}
 		roster := st.recentDistinct(nil, h.inviteCount())
 		// Wait until a full committee can be drawn; the grace period
 		// covers the soup warm-up (a fresh node sees its first samples
@@ -215,6 +224,12 @@ func (h *Handler) tickSearchLandmarks(ctx *simnet.Ctx, st *nodeState, samples []
 // committee member) for the item: it reports the storage roster directly
 // to the searcher.
 func (h *Handler) onInquire(ctx *simnet.Ctx, st *nodeState, msg *simnet.Msg) {
+	// A cached copy beats a roster referral: the bytes go straight to
+	// the searcher, skipping the fetch/reconstruct round-trips.
+	if e := h.cacheLookup(ctx, msg.Item); e != nil {
+		h.cacheServe(ctx, e, simnet.NodeID(msg.Aux2), msg.Trace)
+		return
+	}
 	ent, ok := st.storageLM[msg.Item]
 	if !ok || ctx.Round >= ent.expiry {
 		return
@@ -296,6 +311,9 @@ func (h *Handler) onData(ctx *simnet.Ctx, st *nodeState, msg *simnet.Msg) {
 		item = dec
 	}
 	ok = srch.want == nil || bytes.Equal(item, srch.want)
+	if ok {
+		h.cacheAdmit(ctx, st, msg.Item, item, srch.trace)
+	}
 	h.finishSearch(ctx, st, srch, ctx.Round, ok, len(item))
 }
 
@@ -311,8 +329,17 @@ func distinctPieces(ps []ida.Piece) int {
 func (h *Handler) finishSearch(ctx *simnet.Ctx, st *nodeState, srch *searchState, done int, success bool, nbytes int) {
 	h.recordResult(SearchResult{
 		Searcher: st.id, Key: srch.key, Start: srch.start,
-		Found: srch.found, Done: done, Success: success, Bytes: nbytes,
+		Found: srch.found, Done: done, Success: success,
+		Cached: srch.cached, Bytes: nbytes,
 	})
+	if success {
+		lat := int64(done - srch.start)
+		if srch.cached {
+			h.ctr.roundsCached.Observe(ctx.Shard, lat)
+		} else {
+			h.ctr.roundsUncached.Observe(ctx.Shard, lat)
+		}
+	}
 	h.emitSearchDone(ctx, st, srch, done, success)
 	delete(st.searches, srch.key)
 }

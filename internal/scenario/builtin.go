@@ -57,6 +57,33 @@ var builtins = []builtin{
 		},
 	},
 	{
+		name: "flash-crowd-cached",
+		desc: "flash-crowd with hot-key caching: walk-seeded replicas absorb the spike",
+		build: func(n int, seed uint64) Spec {
+			T := unit(n)
+			// Same timeline and churn as flash-crowd, but a steeper Zipf
+			// (the crowd hammers a handful of keys) and full seeding.
+			// Capacity matches the key universe so the measured win is
+			// the caching mechanism itself; the EXPERIMENTS.md sweep
+			// (-cachecap) charts what capacity contention costs.
+			return Spec{
+				Name: "flash-crowd-cached", N: n, Seed: seed, ZipfS: 3.0,
+				Keys:  8,
+				Cache: CacheSpec{Capacity: 8, SeedRate: 1},
+				Phases: []Phase{
+					{Name: "seed", Rounds: 3 * T, Churn: Churn{Rate: 0.5},
+						Load: Workload{StoreRate: 0.5}},
+					{Name: "quiet", Rounds: 2 * T, Churn: Churn{Rate: 0.5},
+						Load: Workload{RetrieveRate: 0.3}},
+					{Name: "crowd", Rounds: 6 * T, Churn: Churn{Rate: 0.5},
+						Load: Workload{RetrieveRate: 3}},
+					{Name: "cooldown", Rounds: 2 * T, Churn: Churn{Rate: 0.5},
+						Load: Workload{RetrieveRate: 0.3}},
+				},
+			}
+		},
+	},
+	{
 		name: "churn-burst",
 		desc: "calm network hit by periodic replacement bursts, then recovery",
 		build: func(n int, seed uint64) Spec {

@@ -39,6 +39,13 @@ type SLO struct {
 	CompleteP95 int `json:"completeP95"`
 	CompleteP99 int `json:"completeP99"`
 	CompleteMax int `json:"completeMax"`
+
+	// Hot-key cache outcomes: CacheHits counts retrievals resolved from
+	// a cached copy (own-node hit or a replica's serve beating the
+	// committee path); CacheServedP50 is the complete-latency P50 over
+	// just those. Both zero when caching is off.
+	CacheHits      int `json:"cacheHits,omitempty"`
+	CacheServedP50 int `json:"cacheServedP50,omitempty"`
 }
 
 // SuccessRate returns succeeded / completed (1 when nothing completed, so
@@ -55,9 +62,10 @@ type sloAccum struct {
 	slo      SLO
 	locate   stats.Counter
 	complete stats.Counter
+	cached   stats.Counter // complete latency over cache-resolved retrievals
 }
 
-func (a *sloAccum) record(locate, complete int, success bool) {
+func (a *sloAccum) record(locate, complete int, success, cached bool) {
 	a.slo.Completed++
 	if !success {
 		a.slo.Failed++
@@ -69,6 +77,12 @@ func (a *sloAccum) record(locate, complete int, success bool) {
 	}
 	if complete >= 0 {
 		a.complete.Add(complete)
+		if cached {
+			a.cached.Add(complete)
+		}
+	}
+	if cached {
+		a.slo.CacheHits++
 	}
 }
 
@@ -81,6 +95,7 @@ func (a *sloAccum) finalize() SLO {
 	s.CompleteP95 = a.complete.Quantile(0.95)
 	s.CompleteP99 = a.complete.Quantile(0.99)
 	s.CompleteMax = a.complete.Max()
+	s.CacheServedP50 = a.cached.Quantile(0.50)
 	return s
 }
 
@@ -118,6 +133,10 @@ type Report struct {
 	SearchRounds *telemetry.HistValue `json:"searchRounds,omitempty"`
 	StoreHops    *telemetry.HistValue `json:"storeHops,omitempty"`
 	StoreRounds  *telemetry.HistValue `json:"storeRounds,omitempty"`
+	// Search rounds-to-resolve split by resolution path, present only
+	// when caching produced/skipped hits respectively.
+	CachedRounds   *telemetry.HistValue `json:"cachedRounds,omitempty"`
+	UncachedRounds *telemetry.HistValue `json:"uncachedRounds,omitempty"`
 }
 
 // Fprint renders the report as an aligned text table (the idiom of
@@ -131,7 +150,7 @@ func (r *Report) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "%d phases over %d rounds (incl. %d warm-up, %d drain)\n\n",
 		len(r.Spec.Phases), r.Rounds, r.Spec.WarmupRounds(), r.Spec.DrainRounds())
 
-	header := []string{"phase", "rounds", "churned", "stores", "retr", "ok", "fail", "lost", "succ%", "p50", "p95", "p99"}
+	header := []string{"phase", "rounds", "churned", "stores", "retr", "ok", "fail", "lost", "succ%", "p50", "p95", "p99", "cHit", "cP50"}
 	rows := make([][]string, 0, len(r.Phases)+1)
 	for _, p := range r.Phases {
 		rows = append(rows, phaseRow(p.Name, p.Rounds, p.Replacements, p.SLO))
@@ -180,6 +199,14 @@ func (r *Report) Fprint(w io.Writer) {
 	}
 	fmt.Fprintf(w, "committees: %d created, %d handovers, %d resignations; churn: %d replacements\n",
 		st.Proto.CommitteesCreated, st.Proto.Handovers, st.Proto.Resignations, st.Engine.Replacements)
+	if pc := st.Proto; pc.CacheInserts > 0 || pc.CacheHits > 0 {
+		rate := 0.0
+		if r.Total.Succeeded > 0 {
+			rate = 100 * float64(r.Total.CacheHits) / float64(r.Total.Succeeded)
+		}
+		fmt.Fprintf(w, "cache: %d hits (%.1f%% of successes), %d replica serves, %d seeds, %d inserts, %d evictions, %d expired\n",
+			pc.CacheHits, rate, pc.CacheServed, pc.CacheSeeds, pc.CacheInserts, pc.CacheEvictions, pc.CacheExpired)
+	}
 	if r.Spec.ErasureK > 0 {
 		fmt.Fprintf(w, "erasure: %d re-dispersals, %d items lost to piece shortage\n",
 			st.Proto.IDARecoded, st.Proto.IDALost)
@@ -198,6 +225,12 @@ func (r *Report) Fprint(w io.Writer) {
 		if r.StoreRounds != nil {
 			telemetry.FprintHistogram(w, "store rounds-to-settle", *r.StoreRounds)
 		}
+		if r.CachedRounds != nil {
+			telemetry.FprintHistogram(w, "search rounds (cache-served)", *r.CachedRounds)
+		}
+		if r.UncachedRounds != nil {
+			telemetry.FprintHistogram(w, "search rounds (committee-served)", *r.UncachedRounds)
+		}
 	}
 }
 
@@ -215,6 +248,8 @@ func phaseRow(name string, rounds int, repl int64, s SLO) []string {
 		fmt.Sprintf("%d", s.CompleteP50),
 		fmt.Sprintf("%d", s.CompleteP95),
 		fmt.Sprintf("%d", s.CompleteP99),
+		fmt.Sprintf("%d", s.CacheHits),
+		fmt.Sprintf("%d", s.CacheServedP50),
 	}
 }
 

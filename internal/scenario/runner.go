@@ -59,6 +59,11 @@ type TraceRecord struct {
 	OpsStarted int64 `json:"opsStarted,omitempty"`
 	OpsDone    int64 `json:"opsDone,omitempty"`
 	HopEvents  int64 `json:"hopEvents,omitempty"`
+	// Hot-key cache activity this round: retrievals resolved from a
+	// cached copy, and replica-side serves of cached bytes. Always zero
+	// when caching is off.
+	CacheHits   int64 `json:"cacheHits,omitempty"`
+	CacheServed int64 `json:"cacheServed,omitempty"`
 }
 
 // request tracks one in-flight retrieval issued by the runner.
@@ -105,7 +110,7 @@ type runner struct {
 	total  sloAccum
 
 	prev      dynp2p.Stats // snapshot for per-round deltas
-	prevTrace [3]int64     // ops started / ops done / hop events
+	prevTrace [5]int64     // ops started / done / hop events / cache hits / cache serves
 	segs      []segMeta
 }
 
@@ -129,6 +134,7 @@ func Run(spec Spec, opt Options) (*Report, error) {
 		ChurnLaw: spec.schedule(), Strategy: strat,
 		ErasureK: spec.ErasureK,
 		Fault:    spec.Phases[0].Fault.model(),
+		Cache:    spec.Cache.config(),
 		Edges:    edges, EdgePeriod: spec.Topology.Period,
 		SpectralEvery: spec.Topology.SpectralEvery,
 		// Scenario runs trace every operation: the report's hop-count and
@@ -167,6 +173,11 @@ func Run(spec Spec, opt Options) (*Report, error) {
 				return nil, fmt.Errorf("scenario %q phase %d: %w", spec.Name, i, err)
 			}
 			nw.SetEdgeMode(m, spec.Topology.Period)
+		}
+		if p.Cache != nil {
+			// Like Edges: a phase-level cache override persists until a
+			// later phase overrides it again.
+			nw.SetCache(p.Cache.config())
 		}
 		r.runSegment(i, p.Name, p.Rounds, p.Load)
 	}
@@ -320,8 +331,8 @@ func (r *runner) drainResults() (done, ok int) {
 		if res.Done >= 0 {
 			complete = res.Done - res.Start
 		}
-		r.accums[req.phase].record(locate, complete, res.Success)
-		r.total.record(locate, complete, res.Success)
+		r.accums[req.phase].record(locate, complete, res.Success, res.Cached)
+		r.total.record(locate, complete, res.Success, res.Cached)
 		done++
 		if res.Success {
 			ok++
@@ -371,10 +382,14 @@ func (r *runner) writeTrace(phase string, stores, retrieves, done, ok, lost int)
 	ops := reg.CounterValue("dynp2p_trace_ops_total")
 	dones := reg.CounterValue("dynp2p_trace_ops_done_total")
 	hops := reg.CounterValue("dynp2p_trace_hop_events_total")
+	chits := reg.CounterValue("dynp2p_cache_hits_total")
+	cserv := reg.CounterValue("dynp2p_cache_served_total")
 	rec.OpsStarted = ops - r.prevTrace[0]
 	rec.OpsDone = dones - r.prevTrace[1]
 	rec.HopEvents = hops - r.prevTrace[2]
-	r.prevTrace = [3]int64{ops, dones, hops}
+	rec.CacheHits = chits - r.prevTrace[3]
+	rec.CacheServed = cserv - r.prevTrace[4]
+	r.prevTrace = [5]int64{ops, dones, hops, chits, cserv}
 	r.prev = cur
 	b, err := json.Marshal(rec)
 	if err != nil {
@@ -396,6 +411,8 @@ func (r *runner) report() *Report {
 		"dynp2p_search_rounds_to_resolve": &rep.SearchRounds,
 		"dynp2p_store_hops":               &rep.StoreHops,
 		"dynp2p_store_rounds_to_settle":   &rep.StoreRounds,
+		"dynp2p_search_rounds_cached":     &rep.CachedRounds,
+		"dynp2p_search_rounds_uncached":   &rep.UncachedRounds,
 	} {
 		if hv := reg.HistogramValue(name); hv.Count > 0 {
 			h := hv

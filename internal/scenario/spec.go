@@ -63,6 +63,10 @@ type Spec struct {
 	// Topology selects the run's edge dynamics (default: the oracle
 	// re-randomizing every round) and spectral telemetry cadence.
 	Topology Topology `json:"topology,omitempty"`
+	// Cache enables hot-key caching (DESIGN.md §10) for the whole run.
+	// Phases may override it mid-run (Phase.Cache); the zero value
+	// disables caching.
+	Cache CacheSpec `json:"cache,omitempty"`
 	// Phases is the timeline; phases run in order after a soup warm-up.
 	Phases []Phase `json:"phases"`
 }
@@ -97,6 +101,38 @@ type Phase struct {
 	// start of this phase (same names as Topology.Edges). Empty keeps
 	// whatever mode is in force — switches persist across later phases.
 	Edges string `json:"edges,omitempty"`
+	// Cache, when non-nil, reconfigures the hot-key cache at the start
+	// of this phase (capacity 0 switches caching off). Like Edges, the
+	// override persists until a later phase overrides it again.
+	Cache *CacheSpec `json:"cache,omitempty"`
+}
+
+// CacheSpec configures the hot-key cache (DESIGN.md §10): per-node
+// Capacity in items (0 = caching off), TTL in rounds (0 = 2× the
+// landmark TTL), and the walk-seeded replication probability SeedRate
+// (0 = 0.5).
+type CacheSpec struct {
+	Capacity int     `json:"capacity,omitempty"`
+	TTL      int     `json:"ttl,omitempty"`
+	SeedRate float64 `json:"seedRate,omitempty"`
+}
+
+// config compiles the cache block for the facade.
+func (c CacheSpec) config() dynp2p.CacheConfig {
+	return dynp2p.CacheConfig{Capacity: c.Capacity, TTL: c.TTL, SeedRate: c.SeedRate}
+}
+
+// check validates a cache block (shared by the spec and phase levels).
+func (c CacheSpec) check() error {
+	switch {
+	case c.Capacity < 0:
+		return fmt.Errorf("cache capacity must be >= 0 (got %d)", c.Capacity)
+	case c.TTL < 0:
+		return fmt.Errorf("cache ttl must be >= 0 (got %d)", c.TTL)
+	case c.SeedRate < 0 || c.SeedRate > 1:
+		return fmt.Errorf("cache seedRate must be in [0, 1] (got %g)", c.SeedRate)
+	}
+	return nil
 }
 
 // Churn configures the churn law for one phase. Exactly one shape is
@@ -227,7 +263,15 @@ func (s *Spec) Validate() error {
 	if s.Topology.SpectralEvery < 0 {
 		return fmt.Errorf("scenario %q: spectralEvery must be >= 0 (got %d)", s.Name, s.Topology.SpectralEvery)
 	}
+	if err := s.Cache.check(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
 	for i, p := range s.Phases {
+		if p.Cache != nil {
+			if err := p.Cache.check(); err != nil {
+				return fmt.Errorf("scenario %q phase %d (%s): %w", s.Name, i, p.Name, err)
+			}
+		}
 		if p.Edges != "" {
 			m, err := expander.ParseEdgeMode(p.Edges)
 			if err != nil {

@@ -684,7 +684,7 @@ func (ss *soupShard) lzPop() []replayTok {
 		ss.lzFree = ss.lzFree[:n-1]
 		return buf
 	}
-	return nil
+	return make([]replayTok, 0, ss.lzCap)
 }
 
 // lzSync forces every in-flight cohort's evaluation up to the last

@@ -1,6 +1,7 @@
 package walks
 
 import (
+	"math"
 	"math/bits"
 	"slices"
 
@@ -156,6 +157,7 @@ type soupShard struct {
 	// steady state keeps exactly one cohort's buffer in circulation.
 	lzToks [][]replayTok
 	lzFree [][]replayTok
+	lzCap  int // fresh-buffer capacity: one full cohort's tokens
 
 	// wc/wcLen: software write-combining blocks for the uncapped
 	// scatter's staged appends — tokens buffer in these L1-resident
@@ -182,7 +184,7 @@ func (ss *soupShard) stageWC(out [][]tokRec, dsh uint32, t tokRec) {
 	ss.wcLen[dsh] = l
 }
 
-func (ss *soupShard) init(g shard.Grid, sh, n int) {
+func (ss *soupShard) init(g shard.Grid, sh, n, wpr int) {
 	ss.lo, ss.hi = g.Bounds(sh, n)
 	slots := ss.hi - ss.lo
 	ss.off = make([]int32, slots+1)
@@ -194,9 +196,32 @@ func (ss *soupShard) init(g shard.Grid, sh, n int) {
 	ss.groups = make([][]tokRec, (slots+groupSlots-1)/groupSlots)
 	ss.outBuf[0] = make([][]tokRec, g.Count())
 	ss.outBuf[1] = make([][]tokRec, g.Count())
-	ss.outSmp = make([][]stagedSmp, g.Count())
 	ss.wc = make([][wcWidth]tokRec, g.Count())
 	ss.wcLen = make([]int8, g.Count())
+
+	// Pre-size the sample staging to its steady-state maximum. Each round
+	// one cohort of slots·wpr walks completes here and scatters
+	// near-uniformly over the grid, so outSmp[dsh] holds a multinomial
+	// draw with mean mu = slots·wpr/nsh; mu + 8·sqrt(mu) + 8 puts the
+	// per-buffer per-round overflow probability below ~1e-12, so append
+	// never grows these on the no-query steady state. (Zero-capacity
+	// buffers doubling toward their record maxima scale allocs/round with
+	// nsh² — the 256²-buffer grid at n=262144 sat near 10³ allocs/round
+	// for hundreds of rounds.) All buffers are carved from one arena; a
+	// query-driven overflow peels just that buffer off and keeps the
+	// grown copy, exactly the old monotone behavior.
+	nsh := g.Count()
+	mu := float64(slots*wpr) / float64(nsh)
+	bufCap := int(mu+8*math.Sqrt(mu)) + 8
+	arena := make([]stagedSmp, nsh*bufCap)
+	ss.outSmp = make([][]stagedSmp, nsh)
+	for d := 0; d < nsh; d++ {
+		ss.outSmp[d] = arena[d*bufCap : d*bufCap : (d+1)*bufCap]
+	}
+	// Cohort token buffers are exactly slots·wpr records at creation
+	// (tokens only die after that), so fresh lzPop allocations start at
+	// full size instead of doubling up from nil.
+	ss.lzCap = slots*wpr + 8
 }
 
 // insert splices count fresh tokens into the capped-path store at the end

@@ -230,7 +230,7 @@ func NewSoup(e *simnet.Engine, p Params, workers int) *Soup {
 		s.rowLoc = make([]uint32, n*e.Degree())
 	}
 	for i := range s.shards {
-		s.shards[i].init(grid, i, n)
+		s.shards[i].init(grid, i, n, p.WalksPerRound)
 	}
 	if p.Store == StoreLazy {
 		s.lz = newLazySoup(e, s)

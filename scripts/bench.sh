@@ -27,6 +27,12 @@
 # committed JSON), and at small sizes run-to-run noise exceeds the real
 # tax, which is ~0.
 #
+# RetrieveHot/n=<n>/cache=off|on rows record the hot-key cache's effect
+# on a Zipf-skewed retrieval workload (rounds/retrieval, retrievals/round
+# extra metrics); the cache=off row is the committed baseline the cache=on
+# row is judged against. Neither is alloc-gated: the retrieval path
+# allocates per-search protocol state by design.
+#
 # A third leg is the multi-core matrix: BenchmarkRoundMatrix (the
 # canonical FullRound body) runs under -cpu $CPUS (default 1,2,4) at
 # n=65536 and n=2^20, emitting RoundMatrix/n=<n>/procs=<p> rows. On a
@@ -38,8 +44,10 @@
 # 1,2,4), MAX_STEADY_ALLOCS (default 256), OUT (default
 # BENCH_roundloop.json), GATED_BENCHES (awk regex of benchmark names the
 # alloc gate applies to; default RouteOnly, SoupOnly, SoupOnlyEager and
-# OverlayRepair at the n=4096 reference size plus RouteOnly at n=65536 —
-# the row whose 637-alloc regression motivated the inbox arena),
+# OverlayRepair at the n=4096 reference size, RouteOnly at n=65536 —
+# the row whose 637-alloc regression motivated the inbox arena — and
+# SoupOnly at n=262144, where per-round trajectory scratch once cost
+# ~1200 allocs/round before the lazy store reused its expansion buffers),
 # TELEMETRY_MAX_NS_PCT (default 5), TELEMETRY_MAX_ALLOC_DELTA (default 0),
 # TELEMETRY_NS_GATE_SIZE (default 65536, the acceptance size; the -short
 # run has no such row so only the alloc delta is gated there).
@@ -54,7 +62,7 @@ BENCHTIME="${BENCHTIME:-20x}"
 MATRIX_BENCHTIME="${MATRIX_BENCHTIME:-5x}"
 CPUS="${CPUS:-1,2,4}"
 MAX_STEADY_ALLOCS="${MAX_STEADY_ALLOCS:-256}"
-GATED_BENCHES="${GATED_BENCHES:-^(RouteOnly|SoupOnly|SoupOnlyEager|OverlayRepair)\\/n=4096\$|^RouteOnly\\/n=65536\$}"
+GATED_BENCHES="${GATED_BENCHES:-^(RouteOnly|SoupOnly|SoupOnlyEager|OverlayRepair)\\/n=4096\$|^RouteOnly\\/n=65536\$|^SoupOnly\\/n=262144\$}"
 TELEMETRY_MAX_NS_PCT="${TELEMETRY_MAX_NS_PCT:-5}"
 TELEMETRY_MAX_ALLOC_DELTA="${TELEMETRY_MAX_ALLOC_DELTA:-0}"
 TELEMETRY_NS_GATE_SIZE="${TELEMETRY_NS_GATE_SIZE:-65536}"
@@ -71,7 +79,7 @@ if [[ -f "$OUT" ]]; then
   HAVE_PREV=1
 fi
 
-go test $SHORT -run '^$' -bench 'BenchmarkRouteOnly|BenchmarkSoupOnly|BenchmarkOverlayRepair|BenchmarkFullRound' \
+go test $SHORT -run '^$' -bench 'BenchmarkRouteOnly|BenchmarkSoupOnly|BenchmarkOverlayRepair|BenchmarkFullRound|BenchmarkRetrieveHot' \
   -benchmem -benchtime "$BENCHTIME" -timeout 90m ./internal/bench | tee "$RAW"
 
 go test $SHORT -run '^$' -bench 'BenchmarkRoundMatrix' \
@@ -87,7 +95,7 @@ awk -v go_version="$(go version | awk '{print $3}')" \
     -v tel_alloc_delta="$TELEMETRY_MAX_ALLOC_DELTA" \
     -v tel_ns_size="$TELEMETRY_NS_GATE_SIZE" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
-/^Benchmark(RouteOnly|SoupOnly|SoupOnlyEager|OverlayRepair|FullRound|FullRoundTelemetry|RoundMatrix)\// {
+/^Benchmark(RouteOnly|SoupOnly|SoupOnlyEager|OverlayRepair|FullRound|FullRoundTelemetry|RoundMatrix|RetrieveHot)\// {
   name = $1
   sub(/^Benchmark/, "", name)
   # The testing package suffixes -$GOMAXPROCS when -cpu != 1. Matrix rows
@@ -107,7 +115,9 @@ awk -v go_version="$(go version | awk '{print $3}')" \
     if ($(i+1) == "allocs/op") allocs = $i
     if ($(i+1) == "B/op") bytes = $i
     if ($(i+1) == "token-moves/s") moves = $i
-    if ($(i+1) == "repairs/round") repairs = sprintf(", \"repairs_per_round\": %s", $i)
+    if ($(i+1) == "repairs/round") repairs = repairs sprintf(", \"repairs_per_round\": %s", $i)
+    if ($(i+1) == "rounds/retrieval") repairs = repairs sprintf(", \"rounds_per_retrieval\": %s", $i)
+    if ($(i+1) == "retrievals/round") repairs = repairs sprintf(", \"retrievals_per_round\": %s", $i)
   }
   rows[++n] = sprintf("    {\"name\": \"%s\", \"ns_per_round\": %s, \"allocs_per_round\": %s, \"bytes_per_round\": %s, \"token_moves_per_s\": %s%s%s}", name, ns, allocs, bytes, moves, repairs, extra)
   ns_by[name] = ns; allocs_by[name] = allocs
