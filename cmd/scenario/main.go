@@ -37,6 +37,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a final Prometheus-text metrics snapshot to this file")
 	phaseProfPath := flag.String("phaseprof", "", "write a per-round phase-timing JSONL stream to this file")
 	cacheCap := flag.Int("cachecap", -1, "override the spec's hot-key cache capacity (-1 keeps the spec value; 0 disables caching)")
+	routing := flag.String("routing", "", "override the spec's routing mode: oracle or overlay (empty keeps the spec value)")
 	list := flag.Bool("list", false, "list builtin scenarios and exit")
 	dump := flag.Bool("dump", false, "print the resolved spec as JSON and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -84,6 +85,22 @@ func main() {
 			if spec.Phases[i].Cache != nil {
 				spec.Phases[i].Cache.Capacity = *cacheCap
 			}
+		}
+	}
+
+	// -routing A/Bs a spec between the id-addressed oracle and overlay
+	// forwarding without editing it. Like -cachecap, it overrides
+	// phase-level routing blocks so the comparison axis is unambiguous.
+	if *routing != "" {
+		spec.Routing.Mode = *routing
+		for i := range spec.Phases {
+			if spec.Phases[i].Routing != nil {
+				spec.Phases[i].Routing.Mode = *routing
+			}
+		}
+		if err := spec.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
 	}
 

@@ -32,6 +32,7 @@ import (
 	"dynp2p/internal/expander"
 	"dynp2p/internal/overlay"
 	"dynp2p/internal/protocol"
+	"dynp2p/internal/route"
 	"dynp2p/internal/simnet"
 	"dynp2p/internal/telemetry"
 	"dynp2p/internal/walks"
@@ -74,6 +75,30 @@ const (
 // ParseEdgeMode resolves an edge-mode name ("rerandomize", "static",
 // "periodic", "ring+random", "self-healing") to its EdgeMode.
 func ParseEdgeMode(s string) (EdgeMode, error) { return expander.ParseEdgeMode(s) }
+
+// RoutingMode selects how protocol messages travel (re-exported; see
+// internal/simnet). RoutingOracle teleports each message to its
+// addressee in one round — the historical engine exchange. RoutingOverlay
+// walks every message edge-by-edge over the live expander with per-slot
+// link capacities and bounded queues (DESIGN.md §11).
+type RoutingMode = simnet.RoutingMode
+
+// Routing modes (re-exported).
+const (
+	RoutingOracle  = simnet.RoutingOracle
+	RoutingOverlay = simnet.RoutingOverlay
+)
+
+// ParseRoutingMode resolves a routing-mode name ("oracle", "overlay").
+func ParseRoutingMode(s string) (RoutingMode, error) { return simnet.ParseRoutingMode(s) }
+
+// RoutingConfig parameterises overlay message routing (re-exported):
+// Mode, WalkBudget (0 = auto), LinkCapacity (0 = unlimited), QueueLimit
+// (0 = default).
+type RoutingConfig = simnet.RoutingConfig
+
+// RouteMetrics is the overlay router's counter snapshot (re-exported).
+type RouteMetrics = route.Metrics
 
 // FaultModel perturbs message delivery at routing time (re-exported).
 type FaultModel = simnet.FaultModel
@@ -141,6 +166,12 @@ type Config struct {
 	// replaces occupants). Deprecated shorthand for Edges: EdgesStatic,
 	// honoured when Edges is left at its zero value.
 	StaticEdges bool
+	// Routing selects how protocol messages travel. The zero value is
+	// RoutingOracle (one-round teleports, the historical engine).
+	// Routing.Mode = RoutingOverlay makes every protocol message walk the
+	// expander edge-by-edge with congestion accounting; use
+	// Network.SetRouting to A/B the modes mid-run.
+	Routing RoutingConfig
 	// Cache enables hot-key caching (DESIGN.md §10): completed retrievals
 	// are cached and probabilistically replicated along walk samples, so
 	// hot keys resolve without committee formation. The zero value
@@ -181,6 +212,7 @@ type Stats struct {
 	Soup    walks.Metrics
 	Proto   protocol.Counters
 	Overlay overlay.Metrics
+	Route   RouteMetrics // zero under RoutingOracle
 }
 
 // Network is a running simulation of the paper's system.
@@ -224,7 +256,7 @@ func NewCustom(cfg Config, adjust func(*walks.Params, *protocol.Params)) *Networ
 		N: cfg.N, Degree: cfg.Degree, EdgeMode: mode, EdgePeriod: cfg.EdgePeriod,
 		AdversarySeed: cfg.Seed, ProtocolSeed: cfg.Seed + 1,
 		Strategy: cfg.Strategy, Law: law, Fault: cfg.Fault, Workers: cfg.Workers,
-		Shards: cfg.Shards,
+		Shards: cfg.Shards, Routing: cfg.Routing,
 	})
 	wp := walks.DefaultParams(cfg.N)
 	pp := protocol.DefaultParams(cfg.N, wp.WalkLength)
@@ -299,6 +331,16 @@ func (nw *Network) SetFault(f FaultModel) { nw.e.SetFault(f) }
 // and capacity sweeps.
 func (nw *Network) SetCache(c CacheConfig) { nw.h.SetCache(c.Capacity, c.TTL, c.SeedRate) }
 
+// SetRouting switches message routing mid-run (oracle ↔ overlay, or new
+// capacity/budget parameters). Call between Run calls; scenario phases
+// use this to pit routed and teleported delivery against the same churn
+// timeline. Switching away from overlay drops (and accounts) every
+// in-flight walker.
+func (nw *Network) SetRouting(rc RoutingConfig) { nw.e.SetRouting(rc) }
+
+// Routing returns the current routing configuration.
+func (nw *Network) Routing() RoutingConfig { return nw.e.Routing() }
+
 // SetEdgeMode switches the topology's edge dynamics mid-run (period is
 // only used by EdgesPeriodic; pass 0 to keep the current period). Call
 // between Run calls; scenario phases use this to pit oracle-maintained
@@ -310,6 +352,7 @@ func (nw *Network) Stats() Stats {
 	return Stats{
 		Engine: nw.e.Metrics(), Soup: nw.soup.Metrics(),
 		Proto: nw.h.Counters(), Overlay: nw.ov.Metrics(),
+		Route: nw.e.RouteMetrics(),
 	}
 }
 

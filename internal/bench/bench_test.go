@@ -167,6 +167,67 @@ func BenchmarkOverlayRepair(b *testing.B) {
 	}
 }
 
+// neighborFanout sends a fixed number of messages per node per round to
+// pseudo-random overlay neighbors, either id-addressed through the oracle
+// or hop-by-hop through the router. Targeting neighbors keeps routed
+// paths short (one forward), so the row isolates the router's per-message
+// machinery — header setup, port draw, arena delivery — rather than walk
+// length.
+type neighborFanout struct {
+	fanout int
+	routed bool
+}
+
+func (neighborFanout) OnJoin(*simnet.Engine, int, simnet.NodeID, int)  {}
+func (neighborFanout) OnLeave(*simnet.Engine, int, simnet.NodeID, int) {}
+func (h neighborFanout) HandleRound(ctx *simnet.Ctx) {
+	nb := ctx.E.Graph().Neighbors(ctx.Slot)
+	if len(nb) == 0 {
+		return
+	}
+	for i := 0; i < h.fanout; i++ {
+		to := ctx.E.IDAt(int(nb[ctx.Rand.Intn(len(nb))]))
+		if h.routed {
+			ctx.SendRouted(simnet.Msg{To: to, Kind: 1})
+		} else {
+			ctx.Send(to, 1, 0, 0, nil)
+		}
+	}
+}
+
+// BenchmarkRoutedRound measures one engine round of neighbor fan-out with
+// the overlay router on (mode=routed) against the id-addressed oracle
+// fast path (mode=oracle): the per-message cost of hopping the expander
+// instead of teleporting. Static topology, no churn, 4 messages per node
+// per round; in steady state the routed path must stay allocation-free,
+// which the n=4096 row gates in scripts/bench.sh.
+func BenchmarkRoutedRound(b *testing.B) {
+	for _, n := range sizes() {
+		for _, routed := range []bool{true, false} {
+			label := "oracle"
+			cfg := simnet.Config{
+				N: n, Degree: 8, EdgeMode: expander.Static,
+				AdversarySeed: 1, ProtocolSeed: 2, Law: churn.ZeroLaw{},
+			}
+			if routed {
+				label = "routed"
+				cfg.Routing = simnet.RoutingConfig{Mode: simnet.RoutingOverlay, WalkBudget: 64}
+			}
+			b.Run(fmt.Sprintf("n=%d/mode=%s", n, label), func(b *testing.B) {
+				e := simnet.New(cfg)
+				h := neighborFanout{fanout: 4, routed: routed}
+				e.Run(h, 64)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.RunRound(h)
+				}
+				b.ReportMetric(float64(4*n), "msgs/round")
+			})
+		}
+	}
+}
+
 // BenchmarkFullRound measures one round of the complete stack — engine,
 // soup, committees/landmarks/storage protocol — under the paper's churn
 // law. The body is FullRound, shared with the root-level

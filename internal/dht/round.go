@@ -56,7 +56,7 @@ func (h *Handler) tryJoin(ctx *simnet.Ctx, st *state) {
 	if nb == ctx.ID {
 		return
 	}
-	ctx.SendMsg(simnet.Msg{
+	ctx.SendRouted(simnet.Msg{
 		To: nb, Kind: KindFind, Item: st.pt,
 		Aux: packFind(purposeJoin, h.ttl, 0), Aux2: uint64(ctx.ID),
 	})
@@ -77,7 +77,7 @@ func (h *Handler) route(ctx *simnet.Ctx, st *state, m *simnet.Msg) {
 	// the KindData reply's Aux reports it (plus the reply hop itself).
 	if purpose == purposeGet {
 		if data, ok := st.items[m.Item]; ok {
-			ctx.SendMsg(simnet.Msg{
+			ctx.SendRouted(simnet.Msg{
 				To: simnet.NodeID(m.Aux2), Kind: KindData, Item: m.Item, Blob: data,
 				Aux: uint64(finger + 1),
 			})
@@ -105,7 +105,7 @@ func (h *Handler) route(ctx *simnet.Ctx, st *state, m *simnet.Msg) {
 	}
 	fwd.Aux = packFind(purpose, ttl-1, hop)
 	fwd.To = next.id
-	ctx.SendMsg(fwd)
+	ctx.SendRouted(fwd)
 }
 
 // resolve completes a routed lookup at the hop preceding the responsible
@@ -118,7 +118,7 @@ func (h *Handler) resolve(ctx *simnet.Ctx, st *state, m *simnet.Msg, purpose uin
 		for _, s := range st.succs {
 			ids = append(ids, s.id)
 		}
-		ctx.SendMsg(simnet.Msg{
+		ctx.SendRouted(simnet.Msg{
 			To: origin, Kind: KindFound, Item: m.Item,
 			Aux: uint64(uint8(purpose)) | uint64(uint8(finger))<<8, IDs: ids,
 		})
@@ -127,11 +127,11 @@ func (h *Handler) resolve(ctx *simnet.Ctx, st *state, m *simnet.Msg, purpose uin
 			st.items[m.Item] = append([]byte(nil), m.Blob...)
 			return
 		}
-		ctx.SendMsg(simnet.Msg{To: resp.id, Kind: KindStore, Item: m.Item, Blob: m.Blob})
+		ctx.SendRouted(simnet.Msg{To: resp.id, Kind: KindStore, Item: m.Item, Blob: m.Blob})
 	case purposeGet:
 		if resp.id == ctx.ID {
 			if data, ok := st.items[m.Item]; ok {
-				ctx.SendMsg(simnet.Msg{
+				ctx.SendRouted(simnet.Msg{
 					To: origin, Kind: KindData, Item: m.Item, Blob: data,
 					Aux: uint64(finger + 1),
 				})
@@ -143,7 +143,7 @@ func (h *Handler) resolve(ctx *simnet.Ctx, st *state, m *simnet.Msg, purpose uin
 		fwd := *m
 		fwd.To = resp.id
 		fwd.Aux = packFind(purposeGet, 1, finger+1)
-		ctx.SendMsg(fwd)
+		ctx.SendRouted(fwd)
 	}
 }
 
@@ -192,7 +192,7 @@ func (h *Handler) onFound(ctx *simnet.Ctx, st *state, m *simnet.Msg) {
 		h.sortSuccs(st)
 		if len(st.succs) > 0 {
 			st.joined = true
-			ctx.SendMsg(simnet.Msg{To: st.succs[0].id, Kind: KindNotify})
+			ctx.SendRouted(simnet.Msg{To: st.succs[0].id, Kind: KindNotify})
 		}
 	case purposeFinger:
 		if finger >= 0 && finger < numFingers {
@@ -209,11 +209,11 @@ func (h *Handler) stabilize(ctx *simnet.Ctx, st *state) {
 		st.joined = false // lost the ring entirely; rejoin
 		return
 	}
-	ctx.SendMsg(simnet.Msg{To: st.succs[0].id, Kind: KindGetSuccs})
+	ctx.SendRouted(simnet.Msg{To: st.succs[0].id, Kind: KindGetSuccs})
 	if len(st.succs) > 1 {
 		probe := st.succs[1+st.probeIdx%(len(st.succs)-1)]
 		st.probeIdx++
-		ctx.SendMsg(simnet.Msg{To: probe.id, Kind: KindGetSuccs})
+		ctx.SendRouted(simnet.Msg{To: probe.id, Kind: KindGetSuccs})
 	}
 	if st.pred.id != 0 && ctx.Round-st.predSeen > 2*stabTimeout {
 		st.pred = peer{} // stale predecessor; stop advertising it
@@ -247,7 +247,7 @@ func (h *Handler) onGetSuccs(ctx *simnet.Ctx, st *state, m *simnet.Msg) {
 	for _, s := range st.succs {
 		ids = append(ids, s.id)
 	}
-	ctx.SendMsg(simnet.Msg{To: m.From, Kind: KindSuccs, IDs: ids})
+	ctx.SendRouted(simnet.Msg{To: m.From, Kind: KindSuccs, IDs: ids})
 	// The asker is alive and a predecessor candidate.
 	st.seen(m.From, ctx.Round)
 	h.considerPred(st, m.From, ctx.Round)
@@ -351,7 +351,7 @@ func (h *Handler) replicate(ctx *simnet.Ctx, st *state) {
 	}
 	for _, k := range keys {
 		for i := 0; i < limit; i++ {
-			ctx.SendMsg(simnet.Msg{To: st.succs[i].id, Kind: KindRepl, Item: k, Blob: st.items[k]})
+			ctx.SendRouted(simnet.Msg{To: st.succs[i].id, Kind: KindRepl, Item: k, Blob: st.items[k]})
 		}
 	}
 }

@@ -233,7 +233,7 @@ func (h *Handler) cacheSeed(ctx *simnet.Ctx, st *nodeState, e *cacheEntry, trace
 			continue
 		}
 		e.aliased = int32(ctx.Round)
-		ctx.SendMsg(simnet.Msg{
+		ctx.SendRouted(simnet.Msg{
 			To: s.Src, Kind: KindCacheSeed, Item: e.key,
 			Aux:   uint64(e.depth) + 1,
 			Blob:  e.data,
@@ -258,7 +258,7 @@ func (h *Handler) cacheServe(ctx *simnet.Ctx, e *cacheEntry, searcher simnet.Nod
 	}
 	e.served = int32(ctx.Round)
 	e.aliased = int32(ctx.Round)
-	ctx.SendMsg(simnet.Msg{
+	ctx.SendRouted(simnet.Msg{
 		To: searcher, Kind: KindCacheData, Item: e.key,
 		Aux:   uint64(e.depth),
 		Blob:  e.data,

@@ -144,7 +144,7 @@ func (h *Handler) sendCounts(ctx *simnet.Ctx, st *nodeState, m *membership) {
 		if peer == st.id {
 			continue
 		}
-		ctx.SendMsg(simnet.Msg{
+		ctx.SendRouted(simnet.Msg{
 			To: peer, Kind: KindCCount, Item: m.com,
 			Aux: aux, Aux2: itemLen, Blob: blob,
 			Trace: m.trace,
@@ -261,7 +261,7 @@ func (h *Handler) attemptHandover(ctx *simnet.Ctx, st *nodeState, m *membership,
 				pieceIdx = i % h.P.CommitteeSize
 			}
 		}
-		ctx.SendMsg(simnet.Msg{
+		ctx.SendRouted(simnet.Msg{
 			To: peer, Kind: KindCInvite, Item: m.com,
 			Aux:   packInvite(m.base, m.mode, pieceIdx),
 			Aux2:  itemLen,
@@ -272,7 +272,7 @@ func (h *Handler) attemptHandover(ctx *simnet.Ctx, st *nodeState, m *membership,
 	}
 	h.ctr.invitesSent.Add(ctx.Shard, int64(len(newRoster)))
 	for _, peer := range m.roster {
-		ctx.SendMsg(simnet.Msg{
+		ctx.SendRouted(simnet.Msg{
 			To: peer, Kind: KindCHandover, Item: m.com,
 			Aux: uint64(epoch), IDs: newRoster,
 			Trace: m.trace,

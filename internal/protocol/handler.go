@@ -223,7 +223,29 @@ func NewHandler(e *simnet.Engine, soup *walks.Soup, p Params) *Handler {
 		}
 		h.code = c
 	}
+	e.SetKeyHolder(h.holdsKey)
 	return h
+}
+
+// holdsKey is the routed-walk holder predicate (simnet.SetKeyHolder):
+// whether slot could answer an inquiry for key right now — a live cache
+// entry or an unexpired storage-landmark registration, exactly the two
+// paths onInquire serves from. It runs in the engine's serial routed
+// phase, between handler phases, so the read-only scan over per-slot
+// state is race-free; it deliberately never bumps LRU clocks — routing
+// observes, never mutates.
+func (h *Handler) holdsKey(slot int, key uint64, round int) bool {
+	if h.cacheCap > 0 {
+		base := slot * h.cacheStride
+		for i := base; i < base+h.cacheCap; i++ {
+			e := &h.cacheArena[i]
+			if e.expiry != 0 && e.key == key && round < int(e.expiry) {
+				return true
+			}
+		}
+	}
+	ent, ok := h.states[slot].storageLM[key]
+	return ok && round < ent.expiry
 }
 
 // IDA reports whether erasure-coded storage is active.
@@ -307,7 +329,7 @@ func (h *Handler) dispatch(ctx *simnet.Ctx, st *nodeState, m *simnet.Msg) {
 			tr.Emit(ctx.Shard, telemetry.Event{
 				Trace: m.Trace, Round: int64(ctx.Round), Kind: telemetry.EvHop,
 				Msg: m.Kind, From: uint64(m.From), To: uint64(st.id),
-				Item: m.Item, Aux: int64(m.Bits()),
+				Item: m.Item, Aux: int64(m.Bits()), Path: m.Hops,
 			})
 		}
 	}

@@ -43,7 +43,7 @@ func (h *Handler) growChildren(ctx *simnet.Ctx, st *nodeState, key uint64,
 	}
 	children := st.recentDistinct(nil, h.P.TreeFanout)
 	for _, child := range children {
-		ctx.SendMsg(simnet.Msg{
+		ctx.SendRouted(simnet.Msg{
 			To: child, Kind: KindLGrow, Item: key,
 			Aux:   packGrow(depth-1, wave, mode),
 			Aux2:  uint64(searcher),

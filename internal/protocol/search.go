@@ -106,7 +106,7 @@ func (h *Handler) createStoreCommittee(ctx *simnet.Ctx, st *nodeState, op pendin
 			blob = p.Data
 			pieceIdx = p.Index
 		}
-		ctx.SendMsg(simnet.Msg{
+		ctx.SendRouted(simnet.Msg{
 			To: peer, Kind: KindCInvite, Item: com,
 			Aux:   packInvite(ctx.Round, ModeStore, pieceIdx),
 			Aux2:  uint64(len(op.data)),
@@ -153,7 +153,7 @@ func (h *Handler) createSearchCommittee(ctx *simnet.Ctx, st *nodeState, op pendi
 	}
 	kb := keyBlob(op.key)
 	for _, peer := range roster {
-		ctx.SendMsg(simnet.Msg{
+		ctx.SendRouted(simnet.Msg{
 			To: peer, Kind: KindCInvite, Item: com,
 			Aux:   packInvite(ctx.Round, ModeSearch, 0),
 			Aux2:  uint64(st.id),
@@ -178,7 +178,7 @@ func (h *Handler) createSearchCommittee(ctx *simnet.Ctx, st *nodeState, op pendi
 			}
 			srch.fetched[member] = true
 			srch.roster = append(srch.roster, member)
-			ctx.SendMsg(simnet.Msg{To: member, Kind: KindSFetch, Item: op.key, Trace: trace})
+			ctx.SendRouted(simnet.Msg{To: member, Kind: KindSFetch, Item: op.key, Trace: trace})
 			h.ctr.fetches.Inc(ctx.Shard)
 		}
 	}
@@ -209,7 +209,11 @@ func (h *Handler) tickSearchLandmarks(ctx *simnet.Ctx, st *nodeState, samples []
 				if s.Src == st.id {
 					continue
 				}
-				ctx.SendMsg(simnet.Msg{
+				// Keyed routed send: under overlay routing the walk may
+				// terminate early at ANY current holder of the item (cache
+				// replica, storage landmark, committee member), not just
+				// the sampled source — replicas cut network distance.
+				ctx.SendRoutedKeyed(simnet.Msg{
 					To: s.Src, Kind: KindSInquire, Item: key,
 					Aux2:  uint64(t.searcher),
 					Trace: t.trace,
@@ -234,7 +238,7 @@ func (h *Handler) onInquire(ctx *simnet.Ctx, st *nodeState, msg *simnet.Msg) {
 	if !ok || ctx.Round >= ent.expiry {
 		return
 	}
-	ctx.SendMsg(simnet.Msg{
+	ctx.SendRouted(simnet.Msg{
 		To: simnet.NodeID(msg.Aux2), Kind: KindSFound, Item: msg.Item,
 		IDs:   ent.roster,
 		Trace: msg.Trace, // the inquiring search's trace rides the reply
@@ -258,7 +262,7 @@ func (h *Handler) onFound(ctx *simnet.Ctx, st *nodeState, msg *simnet.Msg) {
 		}
 		srch.fetched[member] = true
 		srch.roster = append(srch.roster, member)
-		ctx.SendMsg(simnet.Msg{To: member, Kind: KindSFetch, Item: msg.Item, Trace: srch.trace})
+		ctx.SendRouted(simnet.Msg{To: member, Kind: KindSFetch, Item: msg.Item, Trace: srch.trace})
 		h.ctr.fetches.Inc(ctx.Shard)
 	}
 }
@@ -274,7 +278,7 @@ func (h *Handler) onFetch(ctx *simnet.Ctx, st *nodeState, msg *simnet.Msg) {
 	if idx < 0 {
 		idx = 0
 	}
-	ctx.SendMsg(simnet.Msg{
+	ctx.SendRouted(simnet.Msg{
 		To: msg.From, Kind: KindSData, Item: msg.Item,
 		Aux:   packCount(0, idx, hasPiece),
 		Aux2:  uint64(cp.itemLen),

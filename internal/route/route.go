@@ -1,0 +1,431 @@
+// Package route is the overlay forwarding subsystem: protocol messages
+// travel edge-by-edge over the live expander topology instead of
+// teleporting to their addressee (DESIGN.md §11).
+//
+// Every routed message carries a compact Header — remaining walk budget
+// (TTL), hop count, and a target node id or item key — and is walked by
+// the Router as a token: at each step the current slot forwards it along
+// a seeded random out-port, except that a neighbor that *is* the target
+// (or, for keyed walks, any slot/neighbor currently holding the key) ends
+// the walk immediately. Each slot has a per-round link-capacity budget;
+// a message arriving at a slot whose capacity is spent parks in that
+// slot's bounded FIFO queue and resumes next round, so congestion shows
+// up as real queueing delay, and queue depth, link load, and drops are
+// first-class metrics.
+//
+// Determinism: the router runs in one serial engine phase. Walkers are
+// processed in a fixed order — parked walkers oldest first, then fresh
+// transit in the engine's canonical (send round, source slot, sequence)
+// order — and each hop's port is a pure hash of (message seed, hop
+// index). Nothing depends on worker count or scheduling, so every metric
+// the router reports is bit-identical at any Workers value.
+//
+// The Router is generic in the message type so the package does not
+// import the engine; simnet instantiates Router[simnet.Msg] and supplies
+// the environment callbacks (adjacency, id→slot resolution, key-holder
+// lookup, delivery).
+package route
+
+import (
+	"dynp2p/internal/graph"
+	"dynp2p/internal/rng"
+	"dynp2p/internal/telemetry"
+)
+
+// DefaultQueueLimit bounds each slot's parked-walker FIFO when
+// Params.QueueLimit is 0.
+const DefaultQueueLimit = 64
+
+// AutoBudget returns the default walk budget for an n-slot, degree-d
+// topology: 4× the expected hit time of a random walk with neighbor
+// early-exit (≈ n/(d+1)), so an id-addressed walk misses its target with
+// probability ≈ e⁻⁴, floored at 64 for small networks.
+func AutoBudget(n, d int) int {
+	b := 4 * n / (d + 1)
+	if b < 64 {
+		b = 64
+	}
+	return b
+}
+
+// DropReason classifies why the router discarded a message.
+type DropReason uint8
+
+const (
+	// DropBudget: the walk budget (TTL) ran out before reaching a target.
+	DropBudget DropReason = iota
+	// DropQueueFull: the message arrived at a capacity-exhausted slot
+	// whose FIFO queue was already at its bound.
+	DropQueueFull
+	// DropChurn: the slot holding a parked message was churned out; the
+	// queue dies with its node.
+	DropChurn
+	// DropDead: the id-addressed target departed before the walk began or
+	// resumed, so no reachable destination exists.
+	DropDead
+)
+
+// String returns the reason's metric/trace label.
+func (r DropReason) String() string {
+	switch r {
+	case DropBudget:
+		return "budget"
+	case DropQueueFull:
+		return "queue-full"
+	case DropChurn:
+		return "churn"
+	case DropDead:
+		return "dead-target"
+	}
+	return "unknown"
+}
+
+// Params configures a Router.
+type Params struct {
+	// Budget is the maximum forwards per message (the walk TTL).
+	// Required > 0; engines default it with AutoBudget.
+	Budget int
+	// LinkCapacity bounds forwards out of one slot per round; a message
+	// arriving at a spent slot parks in its queue. 0 = unlimited.
+	LinkCapacity int
+	// QueueLimit bounds parked walkers per slot; arrivals beyond it are
+	// dropped (DropQueueFull). 0 = DefaultQueueLimit.
+	QueueLimit int
+	// Seed salts per-message walk seeds (derive from the protocol seed).
+	Seed uint64
+}
+
+// Header is the compact routing header each routed message carries.
+type Header struct {
+	Target uint64 // destination node id (0 = none: keyed walks only)
+	Key    uint64 // item key for keyed (holder-seeking) walks
+	Keyed  bool   // terminate early at any slot currently holding Key
+	Budget int32  // remaining forwards; 0 at Send = router's Params.Budget
+	Hops   int32  // forwards taken so far
+	Seed   uint64 // per-message walk seed (hash of the message identity)
+}
+
+// walker is one in-flight routed message: its header, the slot currently
+// holding it, and the payload.
+type walker[M any] struct {
+	h  Header
+	at int32
+	m  M
+}
+
+// Env supplies the engine-side environment. All callbacks are invoked
+// only from the serial routed-delivery phase.
+type Env[M any] struct {
+	// Graph returns the round's live adjacency (post-repair under
+	// self-healing, post-rewire under the oracle modes).
+	Graph func() *graph.Graph
+	// SlotOf resolves a live node id to its slot; ok=false once departed.
+	SlotOf func(id uint64) (int32, bool)
+	// Holder reports whether slot currently holds key (cache entry,
+	// storage landmark, or committee copy). nil = no holder early-exit.
+	Holder func(slot int32, key uint64) bool
+	// Deliver hands a message that reached slot to the engine, with the
+	// number of forwards it took.
+	Deliver func(slot int32, m *M, hops int32)
+	// OnDrop observes every discarded message (accounting + tracing).
+	// May be nil.
+	OnDrop func(m *M, h *Header, reason DropReason)
+	// OnHop observes every forward as a (from, to) slot edge — the
+	// edge-conformance test hook. May be nil (the production case).
+	OnHop func(from, to int32)
+}
+
+// metrics is the router's registry surface. The routed phase is serial,
+// so every update goes to shard 0.
+type metrics struct {
+	sent       telemetry.Counter
+	delivered  telemetry.Counter
+	forwards   telemetry.Counter
+	parked     telemetry.Counter
+	dropBudget telemetry.Counter
+	dropQueue  telemetry.Counter
+	dropChurn  telemetry.Counter
+	dropDead   telemetry.Counter
+	hops       telemetry.Histogram
+	queueDepth telemetry.Histogram
+	maxLink    telemetry.Gauge
+}
+
+func newMetrics(reg *telemetry.Registry) metrics {
+	return metrics{
+		sent:       reg.Counter("dynp2p_route_sent_total", "messages handed to the overlay router"),
+		delivered:  reg.Counter("dynp2p_route_delivered_total", "routed messages that reached a target"),
+		forwards:   reg.Counter("dynp2p_route_forwards_total", "per-edge forwards performed by the router"),
+		parked:     reg.Counter("dynp2p_route_queued_total", "walkers parked at capacity-exhausted slots"),
+		dropBudget: reg.Counter("dynp2p_route_dropped_budget_total", "routed messages dropped after exhausting their walk budget"),
+		dropQueue:  reg.Counter("dynp2p_route_dropped_queuefull_total", "routed messages dropped at a full slot queue"),
+		dropChurn:  reg.Counter("dynp2p_route_dropped_churn_total", "queued routed messages lost when their slot churned"),
+		dropDead:   reg.Counter("dynp2p_route_dropped_dead_total", "routed messages whose id-addressed target departed"),
+		hops:       reg.Histogram("dynp2p_route_hops", "forwards per delivered routed message"),
+		queueDepth: reg.Histogram("dynp2p_route_queue_depth", "slot queue depth observed at each parking event"),
+		maxLink:    reg.Gauge("dynp2p_route_max_link_load", "largest per-slot forward count in any single round"),
+	}
+}
+
+// Metrics is a merged snapshot of the router's counters.
+type Metrics struct {
+	Sent             int64
+	Delivered        int64
+	Forwards         int64
+	Parked           int64
+	DroppedBudget    int64
+	DroppedQueueFull int64
+	DroppedChurn     int64
+	DroppedDead      int64
+	MaxLinkLoad      int64
+}
+
+// Router walks in-flight messages over the topology, one serial phase per
+// round. Create with New, feed with Send, advance with Step.
+type Router[M any] struct {
+	p   Params
+	n   int
+	env Env[M]
+
+	transit []walker[M] // fresh sends, walking next Step from their origin
+	queued  []walker[M] // parked walkers in processing (FIFO) order
+	next    []walker[M] // next round's queued, built during Step
+
+	fwd  []int32 // per-slot forwards this round
+	qlen []int32 // per-slot parked-walker count
+	mark []uint8 // churn scratch for DropQueuedAt
+
+	m metrics
+}
+
+// New builds a router over n slots, registering its metrics on reg.
+func New[M any](reg *telemetry.Registry, n int, p Params) *Router[M] {
+	if p.Budget <= 0 {
+		panic("route: Params.Budget must be > 0")
+	}
+	if p.QueueLimit <= 0 {
+		p.QueueLimit = DefaultQueueLimit
+	}
+	return &Router[M]{
+		p:    p,
+		n:    n,
+		fwd:  make([]int32, n),
+		qlen: make([]int32, n),
+		mark: make([]uint8, n),
+		m:    newMetrics(reg),
+	}
+}
+
+// SetEnv installs the engine callbacks. Call before the first Step.
+func (r *Router[M]) SetEnv(env Env[M]) { r.env = env }
+
+// Params returns the router's configuration.
+func (r *Router[M]) Params() Params { return r.p }
+
+// Send hands a message to the router at slot `at` (its origin). The walk
+// starts during the next Step. h.Budget 0 takes the router's default.
+// Callers must invoke Send in canonical message order (the engine's
+// serial exchange merge does).
+func (r *Router[M]) Send(m M, h Header, at int32) {
+	if h.Budget <= 0 {
+		h.Budget = int32(r.p.Budget)
+	}
+	r.m.sent.Inc(0)
+	r.transit = append(r.transit, walker[M]{h: h, at: at, m: m})
+}
+
+// InFlight returns the number of messages the router currently holds
+// (parked plus transit).
+func (r *Router[M]) InFlight() int { return len(r.queued) + len(r.transit) }
+
+// QueuedAt returns the number of walkers parked at slot s.
+func (r *Router[M]) QueuedAt(s int) int { return int(r.qlen[s]) }
+
+// Metrics returns a merged snapshot of the router's counters.
+func (r *Router[M]) Metrics() Metrics {
+	return Metrics{
+		Sent:             r.m.sent.Value(),
+		Delivered:        r.m.delivered.Value(),
+		Forwards:         r.m.forwards.Value(),
+		Parked:           r.m.parked.Value(),
+		DroppedBudget:    r.m.dropBudget.Value(),
+		DroppedQueueFull: r.m.dropQueue.Value(),
+		DroppedChurn:     r.m.dropChurn.Value(),
+		DroppedDead:      r.m.dropDead.Value(),
+		MaxLinkLoad:      r.m.maxLink.Value(),
+	}
+}
+
+// DropQueuedAt discards every parked walker whose slot appears in slots
+// (the round's churned set): a node's queue dies with it. Each casualty
+// is counted (DropChurn) and reported through OnDrop so it is never
+// silently lost. Transit messages are not affected: their transmission
+// already left the sender.
+func (r *Router[M]) DropQueuedAt(slots []int) {
+	if len(r.queued) == 0 || len(slots) == 0 {
+		return
+	}
+	for _, s := range slots {
+		r.mark[s] = 1
+	}
+	kept := r.queued[:0]
+	for i := range r.queued {
+		w := &r.queued[i]
+		if r.mark[w.at] != 0 {
+			r.qlen[w.at]--
+			r.drop(w, DropChurn)
+			continue
+		}
+		kept = append(kept, *w)
+	}
+	r.queued = kept
+	for _, s := range slots {
+		r.mark[s] = 0
+	}
+}
+
+// Flush discards every in-flight message (parked and transit), counting
+// each as a churn drop. Engines call it when routing is switched off
+// mid-run, the same discipline SetFault applies to delayed messages.
+func (r *Router[M]) Flush() {
+	for i := range r.queued {
+		r.qlen[r.queued[i].at]--
+		r.drop(&r.queued[i], DropChurn)
+	}
+	for i := range r.transit {
+		r.drop(&r.transit[i], DropChurn)
+	}
+	r.queued = r.queued[:0]
+	r.transit = r.transit[:0]
+}
+
+// Step runs one routed-delivery phase: parked walkers resume (oldest
+// first), then fresh transit walks in arrival order. Each walker forwards
+// until it delivers, drops, or parks at a capacity-exhausted slot. Must
+// run serially, after the round's topology/repair and before handlers.
+func (r *Router[M]) Step() {
+	if len(r.queued) == 0 && len(r.transit) == 0 {
+		r.m.maxLink.SetMax(0)
+		return
+	}
+	g := r.env.Graph()
+	for i := range r.fwd {
+		r.fwd[i] = 0
+	}
+	// Parked walkers leave their queues as they are picked up; qlen is
+	// rebuilt by the parking events of this Step.
+	for i := range r.qlen {
+		r.qlen[i] = 0
+	}
+	r.next = r.next[:0]
+	for i := range r.queued {
+		r.walk(&r.queued[i], g)
+	}
+	for i := range r.transit {
+		r.walk(&r.transit[i], g)
+	}
+	r.queued, r.next = r.next, r.queued[:0]
+	r.transit = r.transit[:0]
+	var maxLink int32
+	for _, f := range r.fwd {
+		if f > maxLink {
+			maxLink = f
+		}
+	}
+	r.m.maxLink.SetMax(int64(maxLink))
+}
+
+// walk advances one message until it delivers, drops, or parks.
+func (r *Router[M]) walk(w *walker[M], g *graph.Graph) {
+	// Resolve the id-addressed target once per round: churn cannot move
+	// it mid-phase. A departed target ends a pure id walk immediately —
+	// the same failure mode (and drop timing) as oracle routing — while a
+	// keyed walk keeps going: any live holder can still answer.
+	tslot := int32(-1)
+	if w.h.Target != 0 {
+		if s, ok := r.env.SlotOf(w.h.Target); ok {
+			tslot = s
+		} else if !w.h.Keyed {
+			r.drop(w, DropDead)
+			return
+		}
+	}
+	cap32 := int32(r.p.LinkCapacity)
+	for {
+		s := w.at
+		if s == tslot {
+			r.deliver(w, s)
+			return
+		}
+		if w.h.Keyed && r.env.Holder != nil && r.env.Holder(s, w.h.Key) {
+			r.deliver(w, s)
+			return
+		}
+		if w.h.Budget <= 0 {
+			r.drop(w, DropBudget)
+			return
+		}
+		if cap32 > 0 && r.fwd[s] >= cap32 {
+			r.park(w, s)
+			return
+		}
+		nbrs := g.Neighbors(int(s))
+		next := int32(-1)
+		for _, nb := range nbrs {
+			if nb == tslot {
+				next = nb
+				break
+			}
+			if w.h.Keyed && next < 0 && r.env.Holder != nil && r.env.Holder(nb, w.h.Key) {
+				next = nb // keep scanning: the exact target still wins
+			}
+		}
+		if next < 0 {
+			next = nbrs[rng.Hash(w.h.Seed, uint64(w.h.Hops))%uint64(len(nbrs))]
+		}
+		r.fwd[s]++
+		w.h.Budget--
+		w.h.Hops++
+		r.m.forwards.Inc(0)
+		if r.env.OnHop != nil {
+			r.env.OnHop(s, next)
+		}
+		w.at = next
+	}
+}
+
+// park stores w in slot s's FIFO queue, or drops it when the queue is at
+// its bound.
+func (r *Router[M]) park(w *walker[M], s int32) {
+	if int(r.qlen[s]) >= r.p.QueueLimit {
+		r.drop(w, DropQueueFull)
+		return
+	}
+	r.qlen[s]++
+	w.at = s
+	r.m.parked.Inc(0)
+	r.m.queueDepth.Observe(0, int64(r.qlen[s]))
+	r.next = append(r.next, *w)
+}
+
+func (r *Router[M]) deliver(w *walker[M], s int32) {
+	r.m.delivered.Inc(0)
+	r.m.hops.Observe(0, int64(w.h.Hops))
+	r.env.Deliver(s, &w.m, w.h.Hops)
+}
+
+func (r *Router[M]) drop(w *walker[M], reason DropReason) {
+	switch reason {
+	case DropBudget:
+		r.m.dropBudget.Inc(0)
+	case DropQueueFull:
+		r.m.dropQueue.Inc(0)
+	case DropChurn:
+		r.m.dropChurn.Inc(0)
+	case DropDead:
+		r.m.dropDead.Inc(0)
+	}
+	if r.env.OnDrop != nil {
+		r.env.OnDrop(&w.m, &w.h, reason)
+	}
+}

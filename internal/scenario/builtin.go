@@ -168,6 +168,37 @@ var builtins = []builtin{
 		},
 	},
 	{
+		name: "hot-path-congestion",
+		desc: "overlay-routed Zipf flash crowd; hot-key caching shortens walks and sheds link load",
+		build: func(n int, seed uint64) Spec {
+			T := unit(n)
+			crowd := Workload{RetrieveRate: 25}
+			// Every protocol message hops the expander edge-by-edge, so the
+			// Zipf crowd's converging walks pile load onto the links around
+			// the hot committees. The two crowd phases differ only in
+			// caching: walk-seeded replicas let searches terminate early at
+			// a holder, which shows up directly as lower hop quantiles,
+			// fewer budget drops, and a smaller max link load. Capacity is
+			// left unlimited on purpose — a finite cap clamps the max-link
+			// gauge to the cap in any saturated round, which would erase
+			// exactly the cold-vs-cached contrast this scenario charts.
+			return Spec{
+				Name: "hot-path-congestion", N: n, Seed: seed, ZipfS: 3.0,
+				Keys:    8,
+				Routing: RoutingSpec{Mode: "overlay"},
+				Phases: []Phase{
+					{Name: "seed", Rounds: 3 * T, Churn: Churn{Rate: 0.5},
+						Load: Workload{StoreRate: 0.5}},
+					{Name: "crowd-cold", Rounds: 4 * T, Churn: Churn{Rate: 0.5},
+						Load: crowd},
+					{Name: "crowd-cached", Rounds: 4 * T, Churn: Churn{Rate: 0.5},
+						Cache: &CacheSpec{Capacity: 8, SeedRate: 1},
+						Load:  crowd},
+				},
+			}
+		},
+	},
+	{
 		name: "erasure-lossy",
 		desc: "IDA erasure-coded storage (K=4) over a lossy network",
 		build: func(n int, seed uint64) Spec {

@@ -114,7 +114,16 @@ type PhaseReport struct {
 	// it (0 when telemetry is off).
 	Repairs   int64   `json:"repairs,omitempty"`
 	LambdaMax float64 `json:"lambdaMax,omitempty"`
-	SLO       SLO     `json:"slo"`
+	// Overlay-routing outcomes for the phase (Routed false = oracle):
+	// quantiles of true overlay path length per search resolved during
+	// it (total hops across every message the search generated), routed
+	// drops, and the largest per-node forward count in any of its rounds.
+	Routed       bool  `json:"routed,omitempty"`
+	RouteHopsP50 int64 `json:"routeHopsP50,omitempty"`
+	RouteHopsP99 int64 `json:"routeHopsP99,omitempty"`
+	RouteDrops   int64 `json:"routeDrops,omitempty"`
+	MaxLinkLoad  int64 `json:"maxLinkLoad,omitempty"`
+	SLO          SLO   `json:"slo"`
 }
 
 // Report is the final result of a scenario run. It is deterministic in
@@ -137,6 +146,12 @@ type Report struct {
 	// when caching produced/skipped hits respectively.
 	CachedRounds   *telemetry.HistValue `json:"cachedRounds,omitempty"`
 	UncachedRounds *telemetry.HistValue `json:"uncachedRounds,omitempty"`
+	// Overlay-routing distributions, present only under routed modes:
+	// forwards per delivered message, queue depth at parking events, and
+	// true overlay path length accumulated per traced search.
+	RouteHops       *telemetry.HistValue `json:"routeHops,omitempty"`
+	RouteQueueDepth *telemetry.HistValue `json:"routeQueueDepth,omitempty"`
+	SearchPath      *telemetry.HistValue `json:"searchPath,omitempty"`
 }
 
 // Fprint renders the report as an aligned text table (the idiom of
@@ -150,18 +165,43 @@ func (r *Report) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "%d phases over %d rounds (incl. %d warm-up, %d drain)\n\n",
 		len(r.Spec.Phases), r.Rounds, r.Spec.WarmupRounds(), r.Spec.DrainRounds())
 
+	routed := false
+	for _, p := range r.Phases {
+		if p.Routed {
+			routed = true
+		}
+	}
 	header := []string{"phase", "rounds", "churned", "stores", "retr", "ok", "fail", "lost", "succ%", "p50", "p95", "p99", "cHit", "cP50"}
+	if routed {
+		header = append(header, "hopP50", "hopP99", "rDrop", "maxLink")
+	}
 	rows := make([][]string, 0, len(r.Phases)+1)
 	for _, p := range r.Phases {
-		rows = append(rows, phaseRow(p.Name, p.Rounds, p.Replacements, p.SLO))
+		row := phaseRow(p.Name, p.Rounds, p.Replacements, p.SLO)
+		if routed {
+			row = append(row, routedCells(p.Routed, p.RouteHopsP50, p.RouteHopsP99, p.RouteDrops, p.MaxLinkLoad)...)
+		}
+		rows = append(rows, row)
 	}
 	totalRounds := 0
-	var totalRepl int64
+	var totalRepl, totalRDrops, totalMaxLink int64
 	for _, p := range r.Phases {
 		totalRounds += p.Rounds
 		totalRepl += p.Replacements
+		totalRDrops += p.RouteDrops
+		if p.MaxLinkLoad > totalMaxLink {
+			totalMaxLink = p.MaxLinkLoad
+		}
 	}
-	rows = append(rows, phaseRow("TOTAL", totalRounds, totalRepl, r.Total))
+	total := phaseRow("TOTAL", totalRounds, totalRepl, r.Total)
+	if routed {
+		var hp50, hp99 int64
+		if r.SearchPath != nil {
+			hp50, hp99 = r.SearchPath.Quantile(0.50), r.SearchPath.Quantile(0.99)
+		}
+		total = append(total, routedCells(true, hp50, hp99, totalRDrops, totalMaxLink)...)
+	}
+	rows = append(rows, total)
 	printAligned(w, header, rows)
 
 	st := r.Stats
@@ -231,6 +271,36 @@ func (r *Report) Fprint(w io.Writer) {
 		if r.UncachedRounds != nil {
 			telemetry.FprintHistogram(w, "search rounds (committee-served)", *r.UncachedRounds)
 		}
+		if r.RouteHops != nil {
+			telemetry.FprintHistogram(w, "route hops per delivery", *r.RouteHops)
+		}
+		if r.RouteQueueDepth != nil {
+			telemetry.FprintHistogram(w, "route queue depth at parking", *r.RouteQueueDepth)
+		}
+		if r.SearchPath != nil {
+			telemetry.FprintHistogram(w, "search overlay path length", *r.SearchPath)
+		}
+	}
+	if routed {
+		rt := r.Stats.Route
+		drops := rt.DroppedBudget + rt.DroppedQueueFull + rt.DroppedChurn + rt.DroppedDead
+		fmt.Fprintf(w, "\nrouting: %d routed sends, %d delivered over %d forwards; %d parked, %d dropped (%d budget, %d queue-full, %d churn, %d dead)\n",
+			rt.Sent, rt.Delivered, rt.Forwards, rt.Parked, drops,
+			rt.DroppedBudget, rt.DroppedQueueFull, rt.DroppedChurn, rt.DroppedDead)
+	}
+}
+
+// routedCells renders the routed columns for one table row; a phase that
+// ran in oracle mode shows dashes instead of misleading zeros.
+func routedCells(routed bool, hp50, hp99, drops, maxLink int64) []string {
+	if !routed {
+		return []string{"-", "-", "-", "-"}
+	}
+	return []string{
+		fmt.Sprintf("%d", hp50),
+		fmt.Sprintf("%d", hp99),
+		fmt.Sprintf("%d", drops),
+		fmt.Sprintf("%d", maxLink),
 	}
 }
 

@@ -64,6 +64,18 @@ type TraceRecord struct {
 	// when caching is off.
 	CacheHits   int64 `json:"cacheHits,omitempty"`
 	CacheServed int64 `json:"cacheServed,omitempty"`
+	// Overlay-routing activity this round (always zero under the
+	// oracle): per-edge forwards, walkers parked at congested nodes, and
+	// routed messages dropped (budget, queue overflow, churn, or dead
+	// target).
+	RoutedFwd    int64 `json:"routedFwd,omitempty"`
+	RoutedQueued int64 `json:"routedQueued,omitempty"`
+	RoutedDrops  int64 `json:"routedDrops,omitempty"`
+}
+
+// routeDrops sums a route snapshot's four drop counters.
+func routeDrops(m dynp2p.RouteMetrics) int64 {
+	return m.DroppedBudget + m.DroppedQueueFull + m.DroppedChurn + m.DroppedDead
 }
 
 // request tracks one in-flight retrieval issued by the runner.
@@ -89,6 +101,14 @@ type segMeta struct {
 	fdelay  int64
 	repairs int64
 	lamMax  float64 // largest λ measured during the segment (0 = none)
+	// Overlay-routing deltas for the segment: hop-count quantiles over
+	// messages delivered in it, drops, and the largest per-node forward
+	// count in any of its rounds. routed is false under the oracle.
+	routed  bool
+	hopsP50 int64
+	hopsP99 int64
+	rdrops  int64
+	maxLink int64
 }
 
 type runner struct {
@@ -135,6 +155,7 @@ func Run(spec Spec, opt Options) (*Report, error) {
 		ErasureK: spec.ErasureK,
 		Fault:    spec.Phases[0].Fault.model(),
 		Cache:    spec.Cache.config(),
+		Routing:  spec.Routing.config(),
 		Edges:    edges, EdgePeriod: spec.Topology.Period,
 		SpectralEvery: spec.Topology.SpectralEvery,
 		// Scenario runs trace every operation: the report's hop-count and
@@ -179,6 +200,11 @@ func Run(spec Spec, opt Options) (*Report, error) {
 			// later phase overrides it again.
 			nw.SetCache(p.Cache.config())
 		}
+		if p.Routing != nil {
+			// Like Edges and Cache: a phase-level routing override
+			// persists until a later phase overrides it again.
+			nw.SetRouting(p.Routing.config())
+		}
 		r.runSegment(i, p.Name, p.Rounds, p.Load)
 	}
 	// Drain: workload stops, the last phase's faults persist, churn goes
@@ -216,6 +242,18 @@ func Run(spec Spec, opt Options) (*Report, error) {
 // requests to spec phase pi (-1 = none).
 func (r *runner) runSegment(pi int, name string, rounds int, load Workload) {
 	start := r.nw.Stats()
+	routed := r.nw.Routing().Mode == dynp2p.RoutingOverlay
+	reg := r.nw.Telemetry()
+	var hopsStart telemetry.HistValue
+	if routed {
+		// Per-phase hop quantiles come from the per-search true overlay
+		// path length (not the per-message hop histogram, whose tail is
+		// dominated by background committee traffic in every phase).
+		hopsStart = reg.HistogramValue("dynp2p_search_path_hops")
+		// The max-link gauge is a running SetMax; resetting it at segment
+		// start makes the segment's reading a true per-phase maximum.
+		reg.Gauge("dynp2p_route_max_link_load", "largest per-slot forward count in any single round").Set(0)
+	}
 	var lamMax float64
 	for i := 0; i < rounds; i++ {
 		stores := r.issueStores(pi, load.StoreRate)
@@ -231,7 +269,7 @@ func (r *runner) runSegment(pi int, name string, rounds int, load Workload) {
 		}
 	}
 	end := r.nw.Stats()
-	r.segs = append(r.segs, segMeta{
+	seg := segMeta{
 		name: name, rounds: rounds, phase: pi,
 		repl:   end.Engine.Replacements - start.Engine.Replacements,
 		fdrop:  end.Engine.MsgsFaultDropped - start.Engine.MsgsFaultDropped,
@@ -239,7 +277,27 @@ func (r *runner) runSegment(pi int, name string, rounds int, load Workload) {
 		repairs: end.Overlay.Splices + end.Overlay.DirectPairs -
 			start.Overlay.Splices - start.Overlay.DirectPairs,
 		lamMax: lamMax,
-	})
+	}
+	if routed {
+		seg.routed = true
+		hops := histDelta(reg.HistogramValue("dynp2p_search_path_hops"), hopsStart)
+		seg.hopsP50 = hops.Quantile(0.50)
+		seg.hopsP99 = hops.Quantile(0.99)
+		seg.rdrops = routeDrops(end.Route) - routeDrops(start.Route)
+		seg.maxLink = reg.Gauge("dynp2p_route_max_link_load", "largest per-slot forward count in any single round").Value()
+	}
+	r.segs = append(r.segs, seg)
+}
+
+// histDelta returns the bucket-wise difference a - b: the histogram of
+// observations recorded between the two snapshots.
+func histDelta(a, b telemetry.HistValue) telemetry.HistValue {
+	for i := range a.Buckets {
+		a.Buckets[i] -= b.Buckets[i]
+	}
+	a.Count -= b.Count
+	a.Sum -= b.Sum
+	return a
 }
 
 // issueStores issues Poisson(rate) store requests. Each stores the next
@@ -390,6 +448,9 @@ func (r *runner) writeTrace(phase string, stores, retrieves, done, ok, lost int)
 	rec.CacheHits = chits - r.prevTrace[3]
 	rec.CacheServed = cserv - r.prevTrace[4]
 	r.prevTrace = [5]int64{ops, dones, hops, chits, cserv}
+	rec.RoutedFwd = cur.Route.Forwards - r.prev.Route.Forwards
+	rec.RoutedQueued = cur.Route.Parked - r.prev.Route.Parked
+	rec.RoutedDrops = routeDrops(cur.Route) - routeDrops(r.prev.Route)
 	r.prev = cur
 	b, err := json.Marshal(rec)
 	if err != nil {
@@ -413,6 +474,9 @@ func (r *runner) report() *Report {
 		"dynp2p_store_rounds_to_settle":   &rep.StoreRounds,
 		"dynp2p_search_rounds_cached":     &rep.CachedRounds,
 		"dynp2p_search_rounds_uncached":   &rep.UncachedRounds,
+		"dynp2p_route_hops":               &rep.RouteHops,
+		"dynp2p_route_queue_depth":        &rep.RouteQueueDepth,
+		"dynp2p_search_path_hops":         &rep.SearchPath,
 	} {
 		if hv := reg.HistogramValue(name); hv.Count > 0 {
 			h := hv
@@ -424,6 +488,8 @@ func (r *runner) report() *Report {
 			Name: seg.name, Rounds: seg.rounds,
 			Replacements: seg.repl, FaultDropped: seg.fdrop, Delayed: seg.fdelay,
 			Repairs: seg.repairs, LambdaMax: seg.lamMax,
+			Routed: seg.routed, RouteHopsP50: seg.hopsP50, RouteHopsP99: seg.hopsP99,
+			RouteDrops: seg.rdrops, MaxLinkLoad: seg.maxLink,
 		}
 		if seg.phase >= 0 {
 			pr.SLO = r.accums[seg.phase].finalize()

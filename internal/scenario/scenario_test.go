@@ -33,19 +33,23 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 
 func TestParseSpecRejectsBadInput(t *testing.T) {
 	cases := map[string]string{
-		"unknown field":  `{"name":"x","n":64,"phases":[{"name":"p","rounds":5}],"bogus":1}`,
-		"tiny n":         `{"name":"x","n":4,"phases":[{"name":"p","rounds":5}]}`,
-		"no phases":      `{"name":"x","n":64,"phases":[]}`,
-		"zero rounds":    `{"name":"x","n":64,"phases":[{"name":"p","rounds":0}]}`,
-		"drop too high":  `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"fault":{"drop":1.5}}]}`,
-		"negative rate":  `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"load":{"storeRate":-1}}]}`,
-		"odd degree":     `{"name":"x","n":64,"degree":7,"phases":[{"name":"p","rounds":5}]}`,
-		"bad strategy":   `{"name":"x","n":64,"strategy":"chaotic","phases":[{"name":"p","rounds":5}]}`,
-		"negative churn": `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"churn":{"fixed":-2}}]}`,
-		"negative delay": `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"fault":{"delayProb":0.5,"maxDelay":-1}}]}`,
-		"negative delta": `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"churn":{"rate":0.5,"delta":-0.9}}]}`,
-		"overwide burst": `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"churn":{"burstPeriod":4,"burstWidth":10,"burstCount":8}}]}`,
-		"malformed json": `{"name":`,
+		"unknown field":     `{"name":"x","n":64,"phases":[{"name":"p","rounds":5}],"bogus":1}`,
+		"tiny n":            `{"name":"x","n":4,"phases":[{"name":"p","rounds":5}]}`,
+		"no phases":         `{"name":"x","n":64,"phases":[]}`,
+		"zero rounds":       `{"name":"x","n":64,"phases":[{"name":"p","rounds":0}]}`,
+		"drop too high":     `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"fault":{"drop":1.5}}]}`,
+		"negative rate":     `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"load":{"storeRate":-1}}]}`,
+		"odd degree":        `{"name":"x","n":64,"degree":7,"phases":[{"name":"p","rounds":5}]}`,
+		"bad strategy":      `{"name":"x","n":64,"strategy":"chaotic","phases":[{"name":"p","rounds":5}]}`,
+		"negative churn":    `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"churn":{"fixed":-2}}]}`,
+		"negative delay":    `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"fault":{"delayProb":0.5,"maxDelay":-1}}]}`,
+		"negative delta":    `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"churn":{"rate":0.5,"delta":-0.9}}]}`,
+		"overwide burst":    `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"churn":{"burstPeriod":4,"burstWidth":10,"burstCount":8}}]}`,
+		"bad route mode":    `{"name":"x","n":64,"routing":{"mode":"teleport"},"phases":[{"name":"p","rounds":5}]}`,
+		"bad phase mode":    `{"name":"x","n":64,"phases":[{"name":"p","rounds":5,"routing":{"mode":"teleport"}}]}`,
+		"negative budget":   `{"name":"x","n":64,"routing":{"mode":"overlay","walkBudget":-1},"phases":[{"name":"p","rounds":5}]}`,
+		"negative capacity": `{"name":"x","n":64,"routing":{"mode":"overlay","linkCapacity":-2},"phases":[{"name":"p","rounds":5}]}`,
+		"malformed json":    `{"name":`,
 	}
 	for label, in := range cases {
 		if _, err := ParseSpec([]byte(in)); err == nil {
@@ -405,6 +409,104 @@ func TestTopologySwitchAndLambdaTrace(t *testing.T) {
 	rep.Fprint(&out)
 	if !strings.Contains(out.String(), "λ last") || !strings.Contains(out.String(), "λmax by phase") {
 		t.Fatalf("report missing topology lines:\n%s", out.String())
+	}
+}
+
+// TestPhaseCacheOverridePersists pins the override contract for the
+// per-phase cache block: like Edges, a phase-level Cache reconfiguration
+// stays in force for every subsequent phase until another phase overrides
+// it again. The witness is a phase AFTER the enabling one, with no cache
+// field of its own, still producing cache hits.
+func TestPhaseCacheOverridePersists(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"name": "cache-persist", "n": 64, "seed": 7, "keys": 4, "zipfS": 3.0,
+		"phases": [
+			{"name": "seed", "rounds": 12, "load": {"storeRate": 1}},
+			{"name": "on", "rounds": 20, "cache": {"capacity": 4, "seedRate": 1},
+			 "load": {"retrieveRate": 2}},
+			{"name": "after", "rounds": 20, "load": {"retrieveRate": 2}}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PhaseReport{}
+	for _, p := range rep.Phases {
+		byName[p.Name] = p
+	}
+	if h := byName["seed"].SLO.CacheHits; h != 0 {
+		t.Fatalf("cache hits before the cache override: %d", h)
+	}
+	if h := byName["on"].SLO.CacheHits; h == 0 {
+		t.Fatal("no cache hits in the phase that enabled caching")
+	}
+	if h := byName["after"].SLO.CacheHits; h == 0 {
+		t.Fatal("cache override did not persist: no hits in the following phase")
+	}
+}
+
+// TestRoutedScenario runs a small spec in overlay mode end to end: the
+// report must mark phases as routed, carry routed traffic in Stats, show
+// zero id-addressed teleports (every engine delivery went through the
+// router), and render the routed table columns.
+func TestRoutedScenario(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"name": "routed", "n": 64, "seed": 11, "keys": 4,
+		"routing": {"mode": "overlay", "walkBudget": 512},
+		"phases": [
+			{"name": "seed", "rounds": 12, "churn": {"rate": 0.5}, "load": {"storeRate": 1}},
+			{"name": "serve", "rounds": 20, "churn": {"rate": 0.5}, "load": {"retrieveRate": 1}}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Succeeded == 0 {
+		t.Fatal("no successful retrievals over the overlay")
+	}
+	for _, p := range rep.Phases {
+		if !p.Routed {
+			t.Fatalf("phase %s not marked routed", p.Name)
+		}
+	}
+	rt := rep.Stats.Route
+	if rt.Sent == 0 || rt.Delivered == 0 || rt.Forwards == 0 {
+		t.Fatalf("no routed traffic in stats: %+v", rt)
+	}
+	if got, want := rep.Stats.Engine.MsgsDelivered, rt.Delivered; got != want {
+		t.Fatalf("teleported deliveries in overlay mode: engine %d, router %d", got, want)
+	}
+	var out bytes.Buffer
+	rep.Fprint(&out)
+	for _, col := range []string{"hopP50", "hopP99", "rDrop", "maxLink", "routing:"} {
+		if !strings.Contains(out.String(), col) {
+			t.Fatalf("routed report missing %q:\n%s", col, out.String())
+		}
+	}
+}
+
+// TestOracleReportHasNoRoutedColumns: a run that never leaves oracle mode
+// must render the exact pre-routing table, so existing report consumers
+// see byte-identical output.
+func TestOracleReportHasNoRoutedColumns(t *testing.T) {
+	rep, err := Run(testSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	rep.Fprint(&out)
+	for _, col := range []string{"hopP50", "maxLink", "routing:"} {
+		if strings.Contains(out.String(), col) {
+			t.Fatalf("oracle-only report grew routed column %q:\n%s", col, out.String())
+		}
 	}
 }
 

@@ -67,6 +67,11 @@ type Spec struct {
 	// Phases may override it mid-run (Phase.Cache); the zero value
 	// disables caching.
 	Cache CacheSpec `json:"cache,omitempty"`
+	// Routing selects how protocol messages travel (DESIGN.md §11): the
+	// zero value is the oracle (one-round teleports); mode "overlay"
+	// walks every message edge-by-edge over the expander with congestion
+	// accounting. Phases may override it mid-run (Phase.Routing).
+	Routing RoutingSpec `json:"routing,omitempty"`
 	// Phases is the timeline; phases run in order after a soup warm-up.
 	Phases []Phase `json:"phases"`
 }
@@ -105,6 +110,11 @@ type Phase struct {
 	// of this phase (capacity 0 switches caching off). Like Edges, the
 	// override persists until a later phase overrides it again.
 	Cache *CacheSpec `json:"cache,omitempty"`
+	// Routing, when non-nil, reconfigures message routing at the start
+	// of this phase (mode "oracle" switches the overlay off, dropping
+	// and accounting in-flight walkers). Like Edges and Cache, the
+	// override persists until a later phase overrides it again.
+	Routing *RoutingSpec `json:"routing,omitempty"`
 }
 
 // CacheSpec configures the hot-key cache (DESIGN.md §10): per-node
@@ -131,6 +141,43 @@ func (c CacheSpec) check() error {
 		return fmt.Errorf("cache ttl must be >= 0 (got %d)", c.TTL)
 	case c.SeedRate < 0 || c.SeedRate > 1:
 		return fmt.Errorf("cache seedRate must be in [0, 1] (got %g)", c.SeedRate)
+	}
+	return nil
+}
+
+// RoutingSpec configures overlay message routing (DESIGN.md §11): Mode
+// is "oracle" (default) or "overlay"; WalkBudget is the per-message
+// forward budget (0 = auto, 4n/(d+1)); LinkCapacity bounds forwards out
+// of one node per round (0 = unlimited); QueueLimit bounds parked
+// walkers per node (0 = default 64).
+type RoutingSpec struct {
+	Mode         string `json:"mode,omitempty"`
+	WalkBudget   int    `json:"walkBudget,omitempty"`
+	LinkCapacity int    `json:"linkCapacity,omitempty"`
+	QueueLimit   int    `json:"queueLimit,omitempty"`
+}
+
+// config compiles the routing block for the facade.
+func (r RoutingSpec) config() dynp2p.RoutingConfig {
+	mode, _ := dynp2p.ParseRoutingMode(r.Mode) // validated by check()
+	return dynp2p.RoutingConfig{
+		Mode: mode, WalkBudget: r.WalkBudget,
+		LinkCapacity: r.LinkCapacity, QueueLimit: r.QueueLimit,
+	}
+}
+
+// check validates a routing block (shared by the spec and phase levels).
+func (r RoutingSpec) check() error {
+	if _, err := dynp2p.ParseRoutingMode(r.Mode); err != nil {
+		return fmt.Errorf("routing mode %q (want oracle|overlay)", r.Mode)
+	}
+	switch {
+	case r.WalkBudget < 0:
+		return fmt.Errorf("routing walkBudget must be >= 0 (got %d)", r.WalkBudget)
+	case r.LinkCapacity < 0:
+		return fmt.Errorf("routing linkCapacity must be >= 0 (got %d)", r.LinkCapacity)
+	case r.QueueLimit < 0:
+		return fmt.Errorf("routing queueLimit must be >= 0 (got %d)", r.QueueLimit)
 	}
 	return nil
 }
@@ -266,9 +313,17 @@ func (s *Spec) Validate() error {
 	if err := s.Cache.check(); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
+	if err := s.Routing.check(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
 	for i, p := range s.Phases {
 		if p.Cache != nil {
 			if err := p.Cache.check(); err != nil {
+				return fmt.Errorf("scenario %q phase %d (%s): %w", s.Name, i, p.Name, err)
+			}
+		}
+		if p.Routing != nil {
+			if err := p.Routing.check(); err != nil {
 				return fmt.Errorf("scenario %q phase %d (%s): %w", s.Name, i, p.Name, err)
 			}
 		}

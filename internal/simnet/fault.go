@@ -99,6 +99,11 @@ func (e *Engine) Fault() FaultModel { return e.fault }
 // messages arrive pre-ordered; only this path pays for an insertion).
 // Targets that have since been churned out drop the message, the same
 // failure mode as normal routing.
+//
+// Under RoutingOverlay a due message is instead handed back to the
+// overlay router: it resumes as a fresh walk from its origin slot during
+// this round's routed phase, so even delay-released traffic reaches its
+// target edge-by-edge — no teleports.
 func (e *Engine) deliverDelayed(round int) {
 	if len(e.delayed) == 0 {
 		return
@@ -107,6 +112,11 @@ func (e *Engine) deliverDelayed(round int) {
 	for _, d := range e.delayed {
 		if d.deliverAt > round {
 			kept = append(kept, d)
+			continue
+		}
+		if e.router != nil {
+			m := d.m
+			e.sendToRouter(&m)
 			continue
 		}
 		s, ok := e.slotOf(d.m.To)

@@ -1,0 +1,312 @@
+package simnet
+
+// Overlay message routing (DESIGN.md §11): when Config.Routing selects
+// RoutingOverlay the engine stops teleporting protocol messages to their
+// addressee and instead walks each one edge-by-edge over the live
+// topology via internal/route. Handlers opt in per message with
+// Ctx.SendRouted / Ctx.SendRoutedKeyed; under RoutingOracle both fall
+// back to SendMsg, which is what keeps oracle A/B runs byte-compatible
+// with the historical engine.
+//
+// Phase placement: routed delivery runs after the round's hooks (so the
+// walked adjacency is the post-repair graph under self-healing) and
+// before handlers (so an uncongested routed message still arrives the
+// round after it was sent — the oracle's latency). Congestion, by
+// contrast, parks walkers at capacity-exhausted slots and resurfaces as
+// real queueing rounds. The whole phase is serial and processes walkers
+// in a fixed order, so routed metrics are worker-count independent.
+
+import (
+	"fmt"
+
+	"dynp2p/internal/graph"
+	"dynp2p/internal/rng"
+	"dynp2p/internal/route"
+	"dynp2p/internal/shard"
+	"dynp2p/internal/telemetry"
+)
+
+// RoutingMode selects how protocol messages travel.
+type RoutingMode uint8
+
+const (
+	// RoutingOracle is the historical engine exchange: a message reaches
+	// its addressee in one round regardless of topology.
+	RoutingOracle RoutingMode = iota
+	// RoutingOverlay walks every routed message over the expander's
+	// edges, with per-slot link capacities and bounded queues.
+	RoutingOverlay
+)
+
+// String returns the mode's config-file name.
+func (m RoutingMode) String() string {
+	if m == RoutingOverlay {
+		return "overlay"
+	}
+	return "oracle"
+}
+
+// ParseRoutingMode resolves a routing-mode name ("oracle", "overlay");
+// the empty string is oracle, matching the zero Config.
+func ParseRoutingMode(s string) (RoutingMode, error) {
+	switch s {
+	case "", "oracle":
+		return RoutingOracle, nil
+	case "overlay":
+		return RoutingOverlay, nil
+	}
+	return RoutingOracle, fmt.Errorf("simnet: unknown routing mode %q", s)
+}
+
+// RoutingConfig parameterises the engine's message routing.
+type RoutingConfig struct {
+	Mode RoutingMode
+	// WalkBudget is the per-message forward budget (TTL);
+	// 0 = route.AutoBudget(N, Degree).
+	WalkBudget int
+	// LinkCapacity bounds forwards out of one slot per round;
+	// 0 = unlimited.
+	LinkCapacity int
+	// QueueLimit bounds parked walkers per slot;
+	// 0 = route.DefaultQueueLimit.
+	QueueLimit int
+}
+
+// placedMsg is one routed delivery staged for inbox placement.
+type placedMsg struct {
+	slot int32
+	m    Msg
+}
+
+// deliveryArena is the routed phase's flat inbox store, the serial
+// sibling of inboxArena: all of a round's routed deliveries are placed
+// slot-major by one counting sort and the per-slot views sliced out, so
+// steady-state routed rounds allocate nothing.
+type deliveryArena struct {
+	msgs   []Msg
+	off    []int32 // len N+1
+	counts []int32 // len N
+}
+
+// initRouter (re)builds the overlay router from cfg.Routing. Any
+// in-flight walkers of a previous router are flushed and accounted.
+func (e *Engine) initRouter() {
+	if e.router != nil {
+		e.router.Flush()
+	}
+	rc := e.cfg.Routing
+	budget := rc.WalkBudget
+	if budget <= 0 {
+		budget = route.AutoBudget(e.cfg.N, e.cfg.Degree)
+	}
+	e.router = route.New[Msg](e.reg, e.cfg.N, route.Params{
+		Budget:       budget,
+		LinkCapacity: rc.LinkCapacity,
+		QueueLimit:   rc.QueueLimit,
+		Seed:         rng.Hash(e.cfg.ProtocolSeed, 0x6f7665726c6179), // "overlay"
+	})
+	e.applyRouterEnv()
+	if e.routedArena.off == nil {
+		e.routedArena.off = make([]int32, e.cfg.N+1)
+		e.routedArena.counts = make([]int32, e.cfg.N)
+	}
+}
+
+// applyRouterEnv installs the engine-side callbacks on the router.
+func (e *Engine) applyRouterEnv() {
+	env := route.Env[Msg]{
+		Graph:  func() *graph.Graph { return e.topo.Graph() },
+		SlotOf: func(id uint64) (int32, bool) { return e.slotOf(NodeID(id)) },
+		Holder: func(slot int32, key uint64) bool {
+			return e.keyHolder != nil && e.keyHolder(int(slot), key, e.round)
+		},
+		Deliver: e.deliverRouted,
+		OnDrop: func(m *Msg, h *route.Header, reason route.DropReason) {
+			if m.Trace == 0 || e.tracer == nil {
+				return
+			}
+			e.tracer.Emit(0, telemetry.Event{
+				Trace: m.Trace, Round: int64(e.round), Kind: telemetry.EvDrop,
+				Msg: m.Kind, From: uint64(m.From), To: uint64(m.To),
+				Item: m.Item, Aux: int64(reason),
+			})
+		},
+	}
+	if e.hopRec != nil {
+		rec := e.hopRec
+		env.OnHop = func(from, to int32) { rec(e.round, int(from), int(to)) }
+	}
+	e.router.SetEnv(env)
+}
+
+// SetRouting reconfigures message routing mid-run. Call between rounds;
+// scenario phases and A/B experiments use it to pit overlay and oracle
+// delivery against the same churn timeline. Switching overlay off drops
+// (and accounts) every in-flight walker, the same discipline SetFault
+// applies to delayed messages.
+func (e *Engine) SetRouting(rc RoutingConfig) {
+	e.cfg.Routing = rc
+	if rc.Mode == RoutingOverlay {
+		e.initRouter()
+		return
+	}
+	if e.router != nil {
+		e.router.Flush()
+		e.router = nil
+	}
+}
+
+// Routing returns the current routing configuration.
+func (e *Engine) Routing() RoutingConfig { return e.cfg.Routing }
+
+// RouteMetrics returns the overlay router's counters (zero in oracle
+// mode).
+func (e *Engine) RouteMetrics() route.Metrics {
+	if e.router == nil {
+		return route.Metrics{}
+	}
+	return e.router.Metrics()
+}
+
+// RoutedInFlight returns the number of routed messages currently walking
+// or parked (0 in oracle mode).
+func (e *Engine) RoutedInFlight() int {
+	if e.router == nil {
+		return 0
+	}
+	return e.router.InFlight()
+}
+
+// SetKeyHolder installs the protocol's holder predicate: whether slot
+// currently holds item key (cache entry, storage landmark, committee
+// copy) at the given round. Keyed routed walks terminate early at
+// holders, which is how cache replicas cut true network distance.
+func (e *Engine) SetKeyHolder(fn func(slot int, key uint64, round int) bool) {
+	e.keyHolder = fn
+}
+
+// SetHopRecorder installs an observer invoked for every routed forward
+// with (round, from slot, to slot) — the edge-conformance audit hook for
+// tests. nil removes it. Call between rounds.
+func (e *Engine) SetHopRecorder(fn func(round, from, to int)) {
+	e.hopRec = fn
+	if e.router != nil {
+		e.applyRouterEnv()
+	}
+}
+
+// SendRouted queues m for overlay delivery: the message walks the
+// expander edge-by-edge toward m.To, parking at congested slots. Under
+// RoutingOracle it is exactly SendMsg, which lets protocols call it
+// unconditionally and leave the mode to configuration.
+func (c *Ctx) SendRouted(m Msg) {
+	if c.E.router == nil {
+		c.SendMsg(m)
+		return
+	}
+	m.keyed = false
+	c.sendRouted(m)
+}
+
+// SendRoutedKeyed is SendRouted for holder-seeking messages: the walk
+// additionally terminates at any slot (or neighbor) currently holding
+// item m.Item, rewriting m.To to the holder. Under RoutingOracle it is
+// SendMsg.
+func (c *Ctx) SendRoutedKeyed(m Msg) {
+	if c.E.router == nil {
+		c.SendMsg(m)
+		return
+	}
+	m.keyed = true
+	c.sendRouted(m)
+}
+
+// sendRouted stamps identity and sequencing exactly like SendMsg and
+// stages m in the shard's routed buffer; the serial exchange merge hands
+// it to the router in canonical order.
+func (c *Ctx) sendRouted(m Msg) {
+	if len(m.IDs) > MaxPayloadLen || len(m.Blob) > MaxPayloadLen {
+		panic("simnet: routed payload exceeds MaxPayloadLen")
+	}
+	m.From = c.ID
+	m.sentRound = int32(c.Round)
+	m.srcSlot = int32(c.Slot)
+	m.seq = c.seq
+	c.seq++
+	c.bits += int64(m.Bits())
+	*c.routed = append(*c.routed, m)
+}
+
+// sendToRouter hands one stamped message to the overlay router. The walk
+// seed is a pure hash of the message identity, so its port choices are
+// reproducible at any worker count.
+func (e *Engine) sendToRouter(m *Msg) {
+	h := route.Header{
+		Target: uint64(m.To),
+		Seed:   rng.Hash(e.routeSeed, uint64(uint32(m.sentRound)), uint64(uint32(m.srcSlot)), uint64(m.seq)),
+	}
+	if m.keyed {
+		h.Keyed = true
+		h.Key = m.Item
+	}
+	e.router.Send(*m, h, m.srcSlot)
+}
+
+// deliverRouted is the router's delivery callback: stamp the true path
+// length, rewrite the addressee on holder early-exit, and stage the
+// message for inbox placement.
+func (e *Engine) deliverRouted(slot int32, m *Msg, hops int32) {
+	m.Hops = hops
+	if id := e.ids[slot]; m.To != id {
+		m.To = id // keyed walk ended at a holder: it answers instead
+	}
+	e.em.delivered.Inc(0)
+	e.routedPlaced = append(e.routedPlaced, placedMsg{slot: slot, m: *m})
+}
+
+// runRouted executes the routed-delivery phase: advance every in-flight
+// walker over this round's adjacency, then place the deliveries into
+// this round's inboxes with one stable counting sort. Slots that already
+// hold oracle-delivered messages (mixed SendMsg/SendRouted usage) take
+// the canonical-insert slow path instead.
+func (e *Engine) runRouted() {
+	e.routedPlaced = e.routedPlaced[:0]
+	e.router.Step()
+	if len(e.routedPlaced) == 0 {
+		return
+	}
+	ra := &e.routedArena
+	counts := ra.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := range e.routedPlaced {
+		counts[e.routedPlaced[i].slot]++
+	}
+	total := int(shard.Offsets(counts, ra.off))
+	if cap(ra.msgs) < total {
+		ra.msgs = make([]Msg, total, max(total, 2*cap(ra.msgs)))
+	} else {
+		ra.msgs = ra.msgs[:total]
+	}
+	copy(counts, ra.off[:len(counts)])
+	for i := range e.routedPlaced {
+		p := &e.routedPlaced[i]
+		pos := counts[p.slot]
+		counts[p.slot] = pos + 1
+		ra.msgs[pos] = p.m
+	}
+	for s := 0; s < e.cfg.N; s++ {
+		a, b := ra.off[s], ra.off[s+1]
+		if a == b {
+			continue
+		}
+		if len(e.inbox[s]) == 0 {
+			e.inbox[s] = ra.msgs[a:b:b]
+			continue
+		}
+		for _, m := range ra.msgs[a:b] {
+			e.insertCanonical(int32(s), m)
+		}
+	}
+}

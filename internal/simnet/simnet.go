@@ -38,6 +38,7 @@ import (
 	"dynp2p/internal/expander"
 	"dynp2p/internal/graph"
 	"dynp2p/internal/rng"
+	"dynp2p/internal/route"
 	"dynp2p/internal/shard"
 	"dynp2p/internal/telemetry"
 )
@@ -73,6 +74,16 @@ type Msg struct {
 	// records a hop event. The tag is out-of-band telemetry, not part of
 	// the modelled wire format, so it does not count toward Bits().
 	Trace uint64
+
+	// Hops is the true network path length the message travelled when it
+	// was delivered over the overlay (Ctx.SendRouted under
+	// RoutingOverlay); 0 for oracle-delivered messages. Like Trace it is
+	// out-of-band telemetry and does not count toward Bits().
+	Hops int32
+
+	// keyed marks a holder-seeking routed message (SendRoutedKeyed): the
+	// overlay walk may terminate early at any current holder of Item.
+	keyed bool
 
 	// (sentRound, srcSlot, seq) is unique per message and is the canonical
 	// inbox order. Fresh messages arrive already ordered (the sharded
@@ -163,6 +174,12 @@ type Config struct {
 	// on it) reports into. nil = the engine creates a private one, so
 	// Metrics() and Telemetry() always work.
 	Telemetry *telemetry.Registry
+
+	// Routing selects how Ctx.SendRouted messages travel: RoutingOracle
+	// (the zero value) delivers them like SendMsg; RoutingOverlay walks
+	// them edge-by-edge over the live topology with link capacities and
+	// bounded queues (routing.go, internal/route).
+	Routing RoutingConfig
 }
 
 // Metrics aggregates engine-level counters for the current run. Since the
@@ -234,6 +251,7 @@ type routeShard struct {
 	out     []Msg         // handler output, canonical (slot, seq) order
 	xfer    [][]routedRef // grid-sized: refs to messages bound for each destination shard
 	delayed []delayedMsg  // fault-delayed messages from this shard, canonical order
+	routed  []Msg         // overlay-routed output, canonical (slot, seq) order
 	ctx     *Ctx          // reusable handler context for this shard's slots
 
 	bits         int64 // handler bits sent by this shard's slots this round
@@ -242,6 +260,8 @@ type routeShard struct {
 	dropped      int64
 	faultDropped int64
 	delayedCnt   int64
+
+	_ [40]byte // pad to a cache-line multiple (TestRouteShardCacheAligned)
 }
 
 // inboxArena is one destination shard's next-round message store: every
@@ -313,6 +333,16 @@ type Engine struct {
 	hooks     []RoundHook
 	hookNames []string // parallel to hooks, for profiler phase labels
 
+	// Overlay routing state (routing.go): the walker router, the
+	// protocol's key-holder predicate, the test-only hop recorder, the
+	// per-message walk-seed salt, and the delivery staging buffers.
+	router       *route.Router[Msg]
+	keyHolder    func(slot int, key uint64, round int) bool
+	hopRec       func(round, from, to int)
+	routeSeed    uint64
+	routedPlaced []placedMsg
+	routedArena  deliveryArena
+
 	reg    *telemetry.Registry
 	em     engineMetrics
 	tracer *telemetry.Tracer
@@ -368,6 +398,7 @@ func New(cfg Config) *Engine {
 		nextInbox: make([][]Msg, cfg.N),
 		fault:     cfg.Fault,
 		faultSeed: rng.Hash(cfg.AdversarySeed, 0xfa017),
+		routeSeed: rng.Hash(cfg.ProtocolSeed, 0x4007e),
 		workers:   workers,
 		grid:      grid,
 		shardOut:  make([]routeShard, grid.Count()),
@@ -390,6 +421,9 @@ func New(cfg Config) *Engine {
 	e.nextID = 1
 	for s := 0; s < cfg.N; s++ {
 		e.placeNewNode(s, 0)
+	}
+	if cfg.Routing.Mode == RoutingOverlay {
+		e.initRouter()
 	}
 	return e
 }
@@ -615,15 +649,17 @@ func (e *Engine) Tracer() *telemetry.Tracer { return e.tracer }
 // EnableProfiling switches on the round-phase profiler and returns it.
 // Call after all hooks are registered so each gets its own phase; the
 // phase order matches RunRound: churn, topology, deliver, one phase per
-// hook, handlers, route. Wall-clock only — profiler output is outside
-// the determinism contract.
+// hook, routed, handlers, route. The routed phase is present regardless
+// of routing mode (it measures ~0 under RoutingOracle) so phase indices
+// never depend on configuration. Wall-clock only — profiler output is
+// outside the determinism contract.
 func (e *Engine) EnableProfiling() *telemetry.PhaseProfiler {
 	if e.prof != nil {
 		return e.prof
 	}
 	names := []string{"churn", "topology", "deliver"}
 	names = append(names, e.hookNames...)
-	names = append(names, "handlers", "route")
+	names = append(names, "routed", "handlers", "route")
 	e.prof = telemetry.NewPhaseProfiler(e.reg, names)
 	return e.prof
 }
@@ -659,9 +695,10 @@ type Ctx struct {
 	Rand  *rng.Stream
 	Inbox []Msg
 
-	out  *[]Msg
-	seq  uint32
-	bits int64
+	out    *[]Msg
+	routed *[]Msg
+	seq    uint32
+	bits   int64
 }
 
 // Send queues an id-addressed message from this node. Delivery happens at
@@ -738,6 +775,11 @@ func (e *Engine) RunRound(h Handler) {
 				h.OnJoin(e, s, id, round)
 			}
 		}
+		if e.router != nil {
+			// Routed messages parked at a replaced slot die with it —
+			// dropped and accounted, never silently lost.
+			e.router.DropQueuedAt(e.churned)
+		}
 		e.em.replacements.Add(0, int64(len(e.churned)))
 		if prof != nil {
 			prof.Lap(0) // churn
@@ -772,19 +814,29 @@ func (e *Engine) RunRound(h Handler) {
 		}
 	}
 
-	// 4. Handlers, in parallel over slot shards. NopHandler is the
+	// 4. Routed delivery (routing.go): in-flight overlay walkers advance
+	// over this round's post-repair adjacency and land in this round's
+	// inboxes; congested ones park and resume next round.
+	if e.router != nil {
+		e.runRouted()
+	}
+	if prof != nil {
+		prof.Lap(3 + len(e.hooks)) // routed
+	}
+
+	// 5. Handlers, in parallel over slot shards. NopHandler is the
 	// engine's own hooks-only no-op: it sends nothing and keeps no state,
 	// so the per-slot handler sweep and the routing exchange are skipped
 	// outright rather than executed vacuously.
 	if _, nop := h.(NopHandler); h != nil && !nop {
 		e.runHandlers(h, round)
 		if prof != nil {
-			prof.Lap(3 + len(e.hooks)) // handlers
+			prof.Lap(4 + len(e.hooks)) // handlers
 		}
-		// 5. Route: messages to live ids land in nextInbox; the rest drop.
+		// 6. Route: messages to live ids land in nextInbox; the rest drop.
 		e.route()
 		if prof != nil {
-			prof.Lap(4 + len(e.hooks)) // route
+			prof.Lap(5 + len(e.hooks)) // route
 		}
 	}
 	if e.tracer != nil {
@@ -808,6 +860,7 @@ func (e *Engine) runHandlers(h Handler, round int) {
 	e.grid.Run(e.workers, func(sh int) {
 		rs := &e.shardOut[sh]
 		rs.out = rs.out[:0]
+		rs.routed = rs.routed[:0]
 		rs.bits, rs.maxBits = 0, 0
 		lo, hi := e.grid.Bounds(sh, e.cfg.N)
 		ctx := rs.ctx
@@ -815,6 +868,7 @@ func (e *Engine) runHandlers(h Handler, round int) {
 			*ctx = Ctx{
 				E: e, Round: round, Slot: s, Shard: sh, ID: e.ids[s],
 				Rand: e.nodeRng[s], Inbox: e.inbox[s], out: &rs.out,
+				routed: &rs.routed,
 			}
 			h.HandleRound(ctx)
 			rs.bits += ctx.bits
@@ -923,14 +977,34 @@ func (e *Engine) route() {
 	// Serial merge of tallies and fault-delayed messages, in fixed shard
 	// order: e.delayed stays sorted by the canonical (sentRound, srcSlot,
 	// seq) key across rounds because rounds are appended in increasing
-	// sentRound order and shards in increasing srcSlot order.
+	// sentRound order and shards in increasing srcSlot order. Routed
+	// sends are handed to the overlay router here, in the same canonical
+	// order, after deciding their fault fate with the same identity hash
+	// the oracle path uses.
 	for sh := range e.shardOut {
 		rs := &e.shardOut[sh]
-		e.em.sent.Add(0, rs.sent)
+		e.em.sent.Add(0, rs.sent+int64(len(rs.routed)))
 		e.em.dropped.Add(0, rs.dropped)
 		e.em.faultDropped.Add(0, rs.faultDropped)
 		e.em.delayed.Add(0, rs.delayedCnt)
 		e.delayed = append(e.delayed, rs.delayed...)
+		for i := range rs.routed {
+			m := &rs.routed[i]
+			if e.fault != nil {
+				rnd := rng.Hash(e.faultSeed, uint64(e.round), uint64(m.From), uint64(m.seq))
+				drop, delay := e.fault.Fate(e.round, m, rnd)
+				if drop {
+					e.em.faultDropped.Inc(0)
+					continue
+				}
+				if delay > 0 {
+					e.em.delayed.Inc(0)
+					e.delayed = append(e.delayed, delayedMsg{deliverAt: e.round + 1 + delay, m: *m})
+					continue
+				}
+			}
+			e.sendToRouter(m)
+		}
 	}
 }
 

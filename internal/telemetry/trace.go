@@ -21,6 +21,11 @@ const (
 	// EvOpDone marks resolution; Aux carries rounds-to-resolve and OK
 	// records success.
 	EvOpDone
+	// EvDrop marks one traced protocol message discarded by the overlay
+	// router (budget exhausted, queue full, queued at a churned slot, or
+	// dead target); Aux carries the route.DropReason code. The operation
+	// itself stays open — protocols retry or fail on their own clock.
+	EvDrop
 )
 
 // String returns the event kind's JSONL name.
@@ -32,6 +37,8 @@ func (k EventKind) String() string {
 		return "hop"
 	case EvOpDone:
 		return "done"
+	case EvDrop:
+		return "drop"
 	}
 	return "unknown"
 }
@@ -46,7 +53,8 @@ type Event struct {
 	From  uint64
 	To    uint64
 	Item  uint64
-	Aux   int64 // done: rounds-to-resolve; hop: payload bits
+	Aux   int64 // done: rounds-to-resolve; hop: payload bits; drop: reason
+	Path  int32 // hop: true overlay path length (0 when oracle-delivered)
 	OK    bool  // done: whether the operation succeeded
 }
 
@@ -62,6 +70,7 @@ type traceAgg struct {
 	start    int64
 	lastSeen int64
 	hops     int64
+	path     int64 // accumulated true overlay path length across hops
 	isStore  bool
 }
 
@@ -90,12 +99,15 @@ type Tracer struct {
 
 	searchHops   Histogram
 	searchRounds Histogram
+	searchPath   Histogram
 	storeHops    Histogram
 	storeRounds  Histogram
+	storePath    Histogram
 	opsTraced    Counter
 	opsDone      Counter
 	opsFailed    Counter
 	hopEvents    Counter
+	dropEvents   Counter
 	opsExpired   Counter
 
 	w   *bufio.Writer // nil when not streaming
@@ -118,12 +130,15 @@ func NewTracer(reg *Registry, seed uint64, sampleEvery int) *Tracer {
 
 		searchHops:   reg.Histogram("dynp2p_search_hops", "delivered protocol messages per traced search"),
 		searchRounds: reg.Histogram("dynp2p_search_rounds_to_resolve", "rounds from search issue to resolution"),
+		searchPath:   reg.Histogram("dynp2p_search_path_hops", "true overlay path length accumulated per traced search"),
 		storeHops:    reg.Histogram("dynp2p_store_hops", "delivered protocol messages per traced store"),
 		storeRounds:  reg.Histogram("dynp2p_store_rounds_to_settle", "rounds from store issue to committee settlement"),
+		storePath:    reg.Histogram("dynp2p_store_path_hops", "true overlay path length accumulated per traced store"),
 		opsTraced:    reg.Counter("dynp2p_trace_ops_total", "operations selected for tracing"),
 		opsDone:      reg.Counter("dynp2p_trace_ops_done_total", "traced operations resolved"),
 		opsFailed:    reg.Counter("dynp2p_trace_ops_failed_total", "traced operations resolved unsuccessfully"),
 		hopEvents:    reg.Counter("dynp2p_trace_hop_events_total", "hop events recorded across traced operations"),
+		dropEvents:   reg.Counter("dynp2p_trace_drop_events_total", "routed-message drop events recorded across traced operations"),
 		opsExpired:   reg.Counter("dynp2p_trace_ops_expired_total", "traced operations dropped after going idle"),
 	}
 	for i := range t.bufs {
@@ -196,6 +211,7 @@ func (t *Tracer) EndRound(round int64) {
 			agg.start = ev.Round
 			agg.lastSeen = ev.Round
 			agg.hops = 0
+			agg.path = 0
 			agg.isStore = ev.OK // start events carry isStore in OK
 			t.live[ev.Trace] = agg
 			t.opsTraced.Inc(0)
@@ -208,6 +224,14 @@ func (t *Tracer) EndRound(round int64) {
 			}
 			t.hopEvents.Inc(0)
 			agg.hops++
+			agg.path += int64(ev.Path)
+			agg.lastSeen = ev.Round
+		case EvDrop:
+			agg, ok := t.live[ev.Trace]
+			if !ok {
+				continue
+			}
+			t.dropEvents.Inc(0)
 			agg.lastSeen = ev.Round
 		default:
 			continue
@@ -229,9 +253,11 @@ func (t *Tracer) EndRound(round int64) {
 			if agg.isStore {
 				t.storeHops.Observe(0, agg.hops)
 				t.storeRounds.Observe(0, rounds)
+				t.storePath.Observe(0, agg.path)
 			} else {
 				t.searchHops.Observe(0, agg.hops)
 				t.searchRounds.Observe(0, rounds)
+				t.searchPath.Observe(0, agg.path)
 			}
 			t.opsDone.Inc(0)
 			if !ev.OK {
@@ -283,9 +309,17 @@ func (t *Tracer) writeJSON(ev *Event) {
 	b = append(b, `,"ev":"`...)
 	b = append(b, ev.Kind.String()...)
 	b = append(b, '"')
-	if ev.Kind == EvHop {
+	if ev.Kind == EvHop || ev.Kind == EvDrop {
 		b = append(b, `,"msg":`...)
 		b = strconv.AppendUint(b, uint64(ev.Msg), 10)
+	}
+	if ev.Kind == EvHop && ev.Path > 0 {
+		b = append(b, `,"path":`...)
+		b = strconv.AppendInt(b, int64(ev.Path), 10)
+	}
+	if ev.Kind == EvDrop {
+		b = append(b, `,"reason":`...)
+		b = strconv.AppendInt(b, ev.Aux, 10)
 	}
 	b = append(b, `,"from":`...)
 	b = strconv.AppendUint(b, ev.From, 10)

@@ -33,6 +33,12 @@
 # row is judged against. Neither is alloc-gated: the retrieval path
 # allocates per-search protocol state by design.
 #
+# RoutedRound/n=<n>/mode=routed|oracle rows price overlay forwarding
+# against the id-addressed oracle on the same neighbor fan-out workload;
+# the n=4096 routed row joins the alloc gate because hop-by-hop
+# forwarding must stay steady-state allocation-free like the rest of the
+# engine paths.
+#
 # A third leg is the multi-core matrix: BenchmarkRoundMatrix (the
 # canonical FullRound body) runs under -cpu $CPUS (default 1,2,4) at
 # n=65536 and n=2^20, emitting RoundMatrix/n=<n>/procs=<p> rows. On a
@@ -62,7 +68,7 @@ BENCHTIME="${BENCHTIME:-20x}"
 MATRIX_BENCHTIME="${MATRIX_BENCHTIME:-5x}"
 CPUS="${CPUS:-1,2,4}"
 MAX_STEADY_ALLOCS="${MAX_STEADY_ALLOCS:-256}"
-GATED_BENCHES="${GATED_BENCHES:-^(RouteOnly|SoupOnly|SoupOnlyEager|OverlayRepair)\\/n=4096\$|^RouteOnly\\/n=65536\$|^SoupOnly\\/n=262144\$}"
+GATED_BENCHES="${GATED_BENCHES:-^(RouteOnly|SoupOnly|SoupOnlyEager|OverlayRepair)\\/n=4096\$|^RoutedRound\\/n=4096\\/mode=routed\$|^RouteOnly\\/n=65536\$|^SoupOnly\\/n=262144\$}"
 TELEMETRY_MAX_NS_PCT="${TELEMETRY_MAX_NS_PCT:-5}"
 TELEMETRY_MAX_ALLOC_DELTA="${TELEMETRY_MAX_ALLOC_DELTA:-0}"
 TELEMETRY_NS_GATE_SIZE="${TELEMETRY_NS_GATE_SIZE:-65536}"
@@ -79,7 +85,7 @@ if [[ -f "$OUT" ]]; then
   HAVE_PREV=1
 fi
 
-go test $SHORT -run '^$' -bench 'BenchmarkRouteOnly|BenchmarkSoupOnly|BenchmarkOverlayRepair|BenchmarkFullRound|BenchmarkRetrieveHot' \
+go test $SHORT -run '^$' -bench 'BenchmarkRouteOnly|BenchmarkRoutedRound|BenchmarkSoupOnly|BenchmarkOverlayRepair|BenchmarkFullRound|BenchmarkRetrieveHot' \
   -benchmem -benchtime "$BENCHTIME" -timeout 90m ./internal/bench | tee "$RAW"
 
 go test $SHORT -run '^$' -bench 'BenchmarkRoundMatrix' \
@@ -95,7 +101,7 @@ awk -v go_version="$(go version | awk '{print $3}')" \
     -v tel_alloc_delta="$TELEMETRY_MAX_ALLOC_DELTA" \
     -v tel_ns_size="$TELEMETRY_NS_GATE_SIZE" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
-/^Benchmark(RouteOnly|SoupOnly|SoupOnlyEager|OverlayRepair|FullRound|FullRoundTelemetry|RoundMatrix|RetrieveHot)\// {
+/^Benchmark(RouteOnly|RoutedRound|SoupOnly|SoupOnlyEager|OverlayRepair|FullRound|FullRoundTelemetry|RoundMatrix|RetrieveHot)\// {
   name = $1
   sub(/^Benchmark/, "", name)
   # The testing package suffixes -$GOMAXPROCS when -cpu != 1. Matrix rows
